@@ -1,0 +1,370 @@
+// Benchmarks regenerating each figure of the paper's evaluation, plus the
+// ablation studies from DESIGN.md. Each benchmark runs the scenario behind
+// the corresponding figure at a reduced-but-structurally-identical scale
+// (go test -bench is not the place for 30-minute 50-robot runs; use
+// cmd/cocoaexp for the full-scale suite) and reports the headline metric
+// via b.ReportMetric so the shape of the paper's result is visible in the
+// bench output.
+package cocoa_test
+
+import (
+	"testing"
+
+	"cocoa"
+)
+
+// benchOpts is the reduced scale every figure benchmark shares.
+func benchOpts(seed int64) cocoa.ExperimentOptions {
+	return cocoa.ExperimentOptions{
+		Seed:               seed,
+		DurationS:          240,
+		NumRobots:          16,
+		CalibrationSamples: 80000,
+		GridCellM:          4,
+	}
+}
+
+func BenchmarkFig1PDFTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := cocoa.RunFig1(cocoa.ExperimentOptions{Seed: 1, CalibrationSamples: 120000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Strong.MeanDist, "strong-mean-m")
+			b.ReportMetric(res.Weak.MeanDist, "weak-mean-m")
+		}
+	}
+}
+
+func BenchmarkFig4OdometryOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := cocoa.RunFig4(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				b.ReportMetric(s.Values[len(s.Values)-1], "final-err-m-"+s.Label)
+			}
+		}
+	}
+}
+
+func BenchmarkFig5OdometryPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := cocoa.RunFig5(cocoa.ExperimentOptions{Seed: 1, DurationS: 600})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.FinalGapM, "final-gap-m")
+		}
+	}
+}
+
+func BenchmarkFig6RFOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := cocoa.RunFig6(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				b.ReportMetric(cocoa.SteadyStateMean(s, 60), "steady-err-m-"+s.Label)
+			}
+		}
+	}
+}
+
+func BenchmarkFig7Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := cocoa.RunFig7(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range results {
+				if r.VMax == 2.0 {
+					b.ReportMetric(cocoa.SteadyStateMean(r.CoCoA, 110), "cocoa-err-m")
+					b.ReportMetric(cocoa.SteadyStateMean(r.RFOnly, 110), "rf-err-m")
+					b.ReportMetric(cocoa.SteadyStateMean(r.Odometry, 110), "odo-err-m")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig8CDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		snaps, err := cocoa.RunFig8(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(snaps) == 3 {
+			b.ReportMetric(snaps[1].P90, "p90-after-window-m")
+		}
+	}
+}
+
+func BenchmarkFig9BeaconPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunFig9(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.MeanErrorM, "err-m-T"+itoa(int(r.PeriodS)))
+			}
+		}
+	}
+}
+
+func BenchmarkFig9Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunFig9(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.SavingsRatio, "savings-x-T"+itoa(int(r.PeriodS)))
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Devices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunFig10(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.MeanErrorM, "err-m-n"+itoa(r.Equipped))
+			}
+		}
+	}
+}
+
+func BenchmarkExtensionSecondaryBeacons(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunExtensionSecondary(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].BaselineMeanM, "baseline-err-m")
+			b.ReportMetric(rows[0].SecondaryMeanM, "secondary-err-m")
+		}
+	}
+}
+
+func BenchmarkAblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunAblationPruning(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) == 2 {
+			b.ReportMetric(float64(rows[0].DataSent), "mrmm-data-tx")
+			b.ReportMetric(float64(rows[1].DataSent), "odmrp-data-tx")
+		}
+	}
+}
+
+func BenchmarkAblationBeaconRedundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunAblationK(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.FixRate, "fixrate-pct-k"+itoa(r.K))
+			}
+		}
+	}
+}
+
+func BenchmarkAblationGridResolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunAblationGrid(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.MeanErrorM, "err-m-cell"+itoa(int(r.CellM)))
+			}
+		}
+	}
+}
+
+func BenchmarkAblationLocalizerBackend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunAblationLocalizer(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) == 3 {
+			b.ReportMetric(rows[0].MeanErrorM, "grid-err-m")
+			b.ReportMetric(rows[1].MeanErrorM, "particle-err-m")
+			b.ReportMetric(rows[2].MeanErrorM, "ekf-err-m")
+		}
+	}
+}
+
+func BenchmarkExtensionPowerControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunExtensionPowerControl(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.FixRate, "fixrate-pct-"+itoa(int(r.TxPowerDBm))+"dBm")
+			}
+		}
+	}
+}
+
+func BenchmarkExtensionClockSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunExtensionClockSkew(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.DriftSigmaS == 1.5 {
+					name := "fixrate-pct-drift1.5-sync-off"
+					if r.SyncEnabled {
+						name = "fixrate-pct-drift1.5-sync-on"
+					}
+					b.ReportMetric(100*r.FixRate, name)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGeoRouting measures greedy and GFG routing over a CoCoA-derived
+// position snapshot (the paper's geographic-routing use case).
+func BenchmarkGeoRouting(b *testing.B) {
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = 40
+	cfg.NumEquipped = 20
+	cfg.BeaconPeriodS = 50
+	cfg.DurationS = 240
+	cfg.GridCellM = 4
+	cfg.Calibration.Samples = 80000
+	res, err := cocoa.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := cocoa.NewGeoGraph(res.FinalTruePositions, res.FinalEstimates, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st cocoa.GeoStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % g.N()
+		dst := (i*7 + 3) % g.N()
+		if src == dst {
+			continue
+		}
+		o, err := g.GFG(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Record(o)
+	}
+	if st.Attempts > 0 {
+		b.ReportMetric(100*st.DeliveryRate(), "delivery-pct")
+	}
+}
+
+// BenchmarkCoCoARunScaling measures raw simulator throughput at the
+// default paper configuration, shortened.
+func BenchmarkCoCoARunScaling(b *testing.B) {
+	cfg := cocoa.DefaultConfig()
+	cfg.DurationS = 120
+	cfg.Calibration.Samples = 80000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeanError() <= 0 {
+			b.Fatal("degenerate run")
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkBaselineCoopPos regenerates the CoCoA vs Cooperative
+// Positioning comparison (the paper's related-work baseline).
+func BenchmarkBaselineCoopPos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunBaselineCoopPos(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.MeanErrorM, "err-m-"+r.System)
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionReporting regenerates the controller-reporting data
+// path measurement.
+func BenchmarkExtensionReporting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunExtensionReporting(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.DeliveryRate, "delivery-pct-T"+itoa(int(r.PeriodS)))
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionTerrain regenerates the uneven-terrain study.
+func BenchmarkExtensionTerrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := cocoa.RunExtensionTerrain(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Amplitude > 0 {
+					b.ReportMetric(r.MeanErrorM, "rough-err-m-"+r.Mode)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Command cocoaexp regenerates every figure of the paper's evaluation
+// (Section 4) plus the extension and ablation studies from DESIGN.md, and
+// prints the series/tables that EXPERIMENTS.md records.
+//
+// Examples:
+//
+//	cocoaexp              # the full paper-scale suite (minutes)
+//	cocoaexp -quick       # scaled-down smoke suite (seconds)
+//	cocoaexp -fig 9       # one figure only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cocoa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cocoaexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cocoaexp", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,baseline,ablations or all")
+		quick = fs.Bool("quick", false, "scaled-down runs (12 robots, 300 s)")
+		seed  = fs.Int64("seed", 1, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := cocoa.ExperimentOptions{Seed: *seed}
+	if *quick {
+		opts.DurationS = 300
+		opts.NumRobots = 12
+		opts.CalibrationSamples = 60000
+		opts.GridCellM = 4
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	start := time.Now()
+
+	if want("1") {
+		if err := fig1(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("4") {
+		if err := fig4(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("5") {
+		if err := fig5(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("6") {
+		if err := fig6(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("7") {
+		if err := fig7(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("8") {
+		if err := fig8(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("9") {
+		if err := fig9(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("10") {
+		if err := fig10(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("ext") {
+		if err := extension(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("power") {
+		if err := powerControl(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("skew") {
+		if err := clockSkew(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("terrain") {
+		if err := terrainStudy(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("reports") {
+		if err := reports(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("failures") {
+		if err := failures(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("baseline") {
+		if err := baseline(w, opts); err != nil {
+			return err
+		}
+	}
+	if want("ablations") {
+		if err := ablations(w, opts); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+func fig1(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 1 — RSSI -> distance PDFs from calibration")
+	res, err := cocoa.RunFig1(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "RSSI %.0f dBm: gaussian=%v mean=%.1f m (paper Fig 1a: Gaussian)\n",
+		res.Strong.RSSIDBm, res.Strong.IsGaussian, res.Strong.MeanDist)
+	fmt.Fprintf(w, "RSSI %.0f dBm: gaussian=%v mean=%.1f m (paper Fig 1b: non-Gaussian)\n",
+		res.Weak.RSSIDBm, res.Weak.IsGaussian, res.Weak.MeanDist)
+	return nil
+}
+
+func printSeries(w io.Writer, s cocoa.Series, every int) {
+	fmt.Fprintf(w, "  %s: mean=%.2f m", s.Label, s.Mean())
+	fmt.Fprintf(w, "  [")
+	for i := 0; i < len(s.Times); i += every {
+		fmt.Fprintf(w, " %.0fs:%.1f", s.Times[i], s.Values[i])
+	}
+	fmt.Fprintf(w, " ]\n")
+}
+
+func fig4(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 4 — localization error over time, odometry only")
+	series, err := cocoa.RunFig4(opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		printSeries(w, s, max(1, len(s.Times)/10))
+		fmt.Fprintf(w, "    final error: %.1f m (paper: >100 m after 30 min)\n",
+			s.Values[len(s.Values)-1])
+	}
+	return nil
+}
+
+func fig5(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 5 — an example of odometry error (one robot)")
+	res, err := cocoa.RunFig5(opts)
+	if err != nil {
+		return err
+	}
+	n := len(res.True)
+	for i := 0; i < n; i += max(1, n/8) {
+		fmt.Fprintf(w, "  t=%4ds true=%v est=%v\n", i, res.True[i], res.Estimated[i])
+	}
+	fmt.Fprintf(w, "  final gap between real and estimated position: %.1f m\n", res.FinalGapM)
+	return nil
+}
+
+func fig6(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 6 — RF localization only, beacon-period sweep")
+	series, err := cocoa.RunFig6(opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		printSeries(w, s, max(1, len(s.Times)/10))
+	}
+	return nil
+}
+
+func fig7(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 7 — CoCoA vs odometry-only vs RF-only (T = 100 s)")
+	results, err := cocoa.RunFig7(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		warm := 110.0
+		fmt.Fprintf(w, "vmax = %.1f m/s (steady-state means past first window):\n", r.VMax)
+		fmt.Fprintf(w, "  odometry-only: %.1f m\n", cocoa.SteadyStateMean(r.Odometry, warm))
+		fmt.Fprintf(w, "  rf-only:       %.1f m (paper ~33 m at 2 m/s)\n", cocoa.SteadyStateMean(r.RFOnly, warm))
+		fmt.Fprintf(w, "  cocoa:         %.1f m (paper ~6.5 m at 2 m/s)\n", cocoa.SteadyStateMean(r.CoCoA, warm))
+	}
+	return nil
+}
+
+func fig8(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 8 — error CDF at three time instances (T = 100 s)")
+	snaps, err := cocoa.RunFig8(opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		fmt.Fprintf(w, "  %-24s (t=%.0fs): P90 error = %.1f m; P(err<10m) = %.0f%%\n",
+			s.Label, s.TimeS, s.P90, 100*fractionBelow(s, 10))
+	}
+	fmt.Fprintln(w, "  (paper: >90% of robots below 10 m)")
+	return nil
+}
+
+func fractionBelow(s cocoa.CDFSnapshot, x float64) float64 {
+	frac := 0.0
+	for i, e := range s.Errors {
+		if e <= x {
+			frac = s.Probs[i]
+		}
+	}
+	return frac
+}
+
+func fig9(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 9 — impact of beacon period T on error and energy")
+	rows, err := cocoa.RunFig9(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %6s %12s %12s %14s %14s %9s\n",
+		"T(s)", "mean err(m)", "fix rate", "coord (J)", "no-coord (J)", "savings")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %6.0f %12.2f %11.0f%% %14.0f %14.0f %8.1fx\n",
+			r.PeriodS, r.MeanErrorM, 100*r.FixRate, r.CoordEnergyJ, r.NoCoordEnergyJ, r.SavingsRatio)
+	}
+	fmt.Fprintln(w, "  (paper: T=10 worse than T=50; savings 2.6x-8x growing with T)")
+	return nil
+}
+
+func fig10(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Figure 10 — impact of the number of localization devices")
+	rows, err := cocoa.RunFig10(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %9s %12s %12s %10s\n", "equipped", "mean err(m)", "P90 err(m)", "fix rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %9d %12.2f %12.2f %9.0f%%\n",
+			r.Equipped, r.MeanErrorM, r.P90ErrorM, 100*r.FixRate)
+	}
+	fmt.Fprintln(w, "  (paper: 35 -> 5.2 m, 25 -> 5.9 m, 15 -> ~8 m)")
+	return nil
+}
+
+func extension(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Extension — secondary beacons from localized unequipped robots")
+	rows, err := cocoa.RunExtensionSecondary(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %9s %15s %15s %12s %12s\n",
+		"equipped", "baseline (m)", "secondary (m)", "base fix", "sec fix")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %9d %15.2f %15.2f %11.0f%% %11.0f%%\n",
+			r.Equipped, r.BaselineMeanM, r.SecondaryMeanM,
+			100*r.BaselineFixRate, 100*r.SecondaryFixRate)
+	}
+	return nil
+}
+
+func powerControl(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Extension — transmit power control (future work, Sec. 6)")
+	rows, err := cocoa.RunExtensionPowerControl(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %8s %10s %12s %10s %12s\n",
+		"tx(dBm)", "range(m)", "mean err(m)", "fix rate", "energy (J)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %8.0f %10.0f %12.2f %9.0f%% %12.0f\n",
+			r.TxPowerDBm, r.MeanRangeM, r.MeanErrorM, 100*r.FixRate, r.EnergyJ)
+	}
+	return nil
+}
+
+func clockSkew(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Extension — clock drift vs SYNC (why coordination needs MRMM)")
+	rows, err := cocoa.RunExtensionClockSkew(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %12s %6s %12s %10s %14s\n",
+		"drift(s/per)", "SYNC", "mean err(m)", "fix rate", "missed-asleep")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %12.1f %6v %12.2f %9.0f%% %14d\n",
+			r.DriftSigmaS, r.SyncEnabled, r.MeanErrorM, 100*r.FixRate, r.MissedPkts)
+	}
+	return nil
+}
+
+func terrainStudy(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Extension — uneven terrain (paper introduction)")
+	rows, err := cocoa.RunExtensionTerrain(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-15s %10s %12s %12s\n", "mode", "roughness", "mean err(m)", "final (m)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-15s %10.0f %12.2f %12.2f\n", r.Mode, r.Amplitude, r.MeanErrorM, r.FinalM)
+	}
+	return nil
+}
+
+func reports(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Extension — status reports to the controller (geographic unicast)")
+	rows, err := cocoa.RunExtensionReporting(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %6s %10s %12s %10s %12s\n",
+		"T(s)", "reports", "delivered", "hops avg", "loc err(m)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %6.0f %10d %11.0f%% %10.2f %12.2f\n",
+			r.PeriodS, r.ReportsSent, 100*r.DeliveryRate, r.MeanHops, r.MeanErrorM)
+	}
+	return nil
+}
+
+func failures(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Robustness — equipped-robot failures mid-run")
+	rows, err := cocoa.RunFailureInjection(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %10s %15s %14s %10s\n", "failed", "before (m)", "after (m)", "fix rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %10d %15.2f %14.2f %9.0f%%\n",
+			r.FailedEquipped, r.MeanBeforeM, r.MeanAfterM, 100*r.FixRate)
+	}
+
+	header(w, "Robustness — cross-seed replication of the headline metric")
+	rep, err := cocoa.RunReplication(opts, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %d seeds: mean err %.2f m (std %.2f, min %.2f, max %.2f)\n",
+		rep.Seeds, rep.MeanErrorM, rep.StdErrorM, rep.MinM, rep.MaxM)
+	return nil
+}
+
+func baseline(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Baseline — CoCoA vs Cooperative Positioning (Kurazume et al.)")
+	rows, err := cocoa.RunBaselineCoopPos(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-26s %9s %12s %12s %12s\n",
+		"system", "equipped", "mean err(m)", "final err(m)", "mobility")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-26s %9d %12.2f %12.2f %11.0f%%\n",
+			r.System, r.EquippedRobots, r.MeanErrorM, r.FinalErrorM, r.MobilityDutyPct)
+	}
+	return nil
+}
+
+func ablations(w io.Writer, opts cocoa.ExperimentOptions) error {
+	header(w, "Ablation — MRMM mesh pruning vs plain ODMRP")
+	prows, err := cocoa.RunAblationPruning(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range prows {
+		fmt.Fprintf(w, "  pruning=%-5v dataTx=%4d delivered=%4d queries=%4d forwarders=%3d err=%.2fm\n",
+			r.Pruning, r.DataSent, r.DataDelivered, r.QueriesSent, r.Forwarders, r.MeanErrorM)
+	}
+
+	header(w, "Ablation — beacon redundancy k")
+	krows, err := cocoa.RunAblationK(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range krows {
+		fmt.Fprintf(w, "  k=%d: err=%.2fm fixRate=%.0f%% energy=%.0fJ framesSent=%d\n",
+			r.K, r.MeanErrorM, 100*r.FixRate, r.CoordEnergyJ, r.BeaconsSent)
+	}
+
+	header(w, "Ablation — Bayesian grid resolution")
+	grows, err := cocoa.RunAblationGrid(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range grows {
+		fmt.Fprintf(w, "  cell=%.0fm (%6d cells): err=%.2fm\n", r.CellM, r.WallSenseN, r.MeanErrorM)
+	}
+
+	header(w, "Ablation — localization backend (grid vs Monte Carlo)")
+	lrows, err := cocoa.RunAblationLocalizer(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range lrows {
+		fmt.Fprintf(w, "  backend=%-8s err=%.2fm fixRate=%.0f%%\n",
+			r.Backend, r.MeanErrorM, 100*r.FixRate)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cocoa"
+)
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 9") {
+		t.Errorf("missing Figure 9 section:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 4") {
+		t.Error("-fig 9 also ran Figure 4")
+	}
+	if !strings.Contains(out, "savings") {
+		t.Error("Figure 9 output missing savings column")
+	}
+}
+
+func TestRunFig1Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "gaussian=true") || !strings.Contains(out, "gaussian=false") {
+		t.Errorf("Figure 1 output missing regimes:\n%s", out)
+	}
+}
+
+func TestRunFig5Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "final gap") {
+		t.Error("Figure 5 output missing final gap")
+	}
+}
+
+func TestRunAblationsQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "ablations"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pruning=true", "k=1", "cell=8m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func snapshotForTest() cocoa.CDFSnapshot {
+	return cocoa.CDFSnapshot{
+		Errors: []float64{1, 2, 5, 20},
+		Probs:  []float64{0.25, 0.5, 0.5, 1},
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	snap := snapshotForTest()
+	if got := fractionBelow(snap, 5); got != 0.5 {
+		t.Errorf("fractionBelow(5) = %v, want 0.5", got)
+	}
+	if got := fractionBelow(snap, 0.5); got != 0 {
+		t.Errorf("fractionBelow(0.5) = %v, want 0", got)
+	}
+	if got := fractionBelow(snap, 100); got != 1 {
+		t.Errorf("fractionBelow(100) = %v, want 1", got)
+	}
+}

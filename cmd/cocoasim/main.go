@@ -1,0 +1,174 @@
+// Command cocoasim runs a single CoCoA deployment and prints the
+// localization-error time series plus a run summary.
+//
+// Examples:
+//
+//	cocoasim -mode cocoa -T 100 -duration 1800
+//	cocoasim -mode odometry -vmax 0.5 -csv
+//	cocoasim -mode rf -T 50 -equipped 15 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cocoa"
+	"cocoa/internal/eventlog"
+	"cocoa/internal/trace"
+)
+
+// writeFile creates path and streams content through fn.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cocoasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cocoasim", flag.ContinueOnError)
+	var (
+		mode        = fs.String("mode", "cocoa", "localization mode: odometry | rf | cocoa")
+		robots      = fs.Int("robots", 50, "team size")
+		equipped    = fs.Int("equipped", 25, "robots with localization devices")
+		vmax        = fs.Float64("vmax", 2.0, "maximum robot speed (m/s)")
+		period      = fs.Float64("T", 100, "beacon period T (s)")
+		window      = fs.Float64("t", 3, "transmit period t (s)")
+		k           = fs.Int("k", 3, "beacons per window")
+		duration    = fs.Float64("duration", 1800, "simulated time (s)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		gridCell    = fs.Float64("grid", 2, "Bayesian grid cell size (m)")
+		localizer   = fs.String("localizer", "grid", "RF estimation backend: grid | particle | ekf")
+		terrain     = fs.Float64("terrain", 0, "terrain roughness amplitude (0 = smooth)")
+		uncoord     = fs.Bool("no-coordination", false, "radios idle instead of sleeping")
+		secondary   = fs.Bool("secondary", false, "localized unequipped robots also beacon")
+		csv         = fs.Bool("csv", false, "emit the full per-second series as CSV")
+		jsonOut     = fs.Bool("json", false, "emit the run summary as JSON instead of text")
+		seriesFile  = fs.String("series", "", "also write the error series CSV to this file")
+		eventsFile  = fs.String("events", "", "also write a JSONL event log to this file")
+		robotsFile  = fs.String("robots-out", "", "also write the per-robot error matrix CSV to this file")
+		sampleEvery = fs.Int("every", 60, "series print cadence in samples (non-CSV)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = *robots
+	cfg.NumEquipped = *equipped
+	cfg.VMax = *vmax
+	cfg.BeaconPeriodS = *period
+	cfg.TransmitPeriodS = *window
+	cfg.BeaconsPerWindow = *k
+	cfg.DurationS = *duration
+	cfg.Seed = *seed
+	cfg.GridCellM = *gridCell
+	cfg.Coordinated = !*uncoord
+	cfg.SecondaryBeacons = *secondary
+	cfg.TerrainAmplitude = *terrain
+
+	switch *localizer {
+	case "grid":
+		cfg.Localizer = cocoa.LocalizerGrid
+	case "particle":
+		cfg.Localizer = cocoa.LocalizerParticle
+	case "ekf":
+		cfg.Localizer = cocoa.LocalizerEKF
+	default:
+		return fmt.Errorf("unknown localizer %q (want grid | particle | ekf)", *localizer)
+	}
+
+	switch *mode {
+	case "odometry":
+		cfg.Mode = cocoa.ModeOdometryOnly
+	case "rf":
+		cfg.Mode = cocoa.ModeRFOnly
+	case "cocoa":
+		cfg.Mode = cocoa.ModeCombined
+	default:
+		return fmt.Errorf("unknown mode %q (want odometry | rf | cocoa)", *mode)
+	}
+
+	team, err := cocoa.NewTeam(cfg)
+	if err != nil {
+		return err
+	}
+	var evWriter *eventlog.Writer
+	var evFile *os.File
+	if *eventsFile != "" {
+		evFile, err = os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer evFile.Close()
+		evWriter = eventlog.NewWriter(evFile)
+		team.Observe(evWriter.Observer())
+	}
+	res, err := team.Run()
+	if err != nil {
+		return err
+	}
+	if evWriter != nil {
+		if err := evWriter.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if *seriesFile != "" {
+		if err := writeFile(*seriesFile, func(f io.Writer) error {
+			return trace.WriteSeriesCSV(f, res)
+		}); err != nil {
+			return err
+		}
+	}
+	if *robotsFile != "" {
+		if err := writeFile(*robotsFile, func(f io.Writer) error {
+			return trace.WritePerRobotCSV(f, res)
+		}); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return trace.WriteSummaryJSON(w, res)
+	}
+
+	if *csv {
+		fmt.Fprintln(w, "time_s,avg_error_m")
+		for i := range res.Times {
+			fmt.Fprintf(w, "%.0f,%.4f\n", res.Times[i], res.AvgError[i])
+		}
+	} else {
+		fmt.Fprintf(w, "time(s)  avg error (m)\n")
+		for i := 0; i < len(res.Times); i += *sampleEvery {
+			fmt.Fprintf(w, "%7.0f  %8.2f\n", res.Times[i], res.AvgError[i])
+		}
+	}
+
+	fmt.Fprintf(w, "\nmode=%s robots=%d equipped=%d vmax=%.1f T=%.0fs t=%.0fs k=%d seed=%d\n",
+		cfg.Mode, cfg.NumRobots, cfg.NumEquipped, cfg.VMax,
+		cfg.BeaconPeriodS, cfg.TransmitPeriodS, cfg.BeaconsPerWindow, cfg.Seed)
+	fmt.Fprintf(w, "mean error over time: %.2f m (max avg %.2f m)\n", res.MeanError(), res.MaxAvgError())
+	if cfg.Mode != cocoa.ModeOdometryOnly {
+		fmt.Fprintf(w, "fix rate: %.1f%%  beacons applied: %d  SYNCs delivered: %d\n",
+			100*res.FixRate(), res.BeaconsApplied, res.SyncsReceived)
+		fmt.Fprintf(w, "energy: %.0f J coordinated, %.0f J without coordination (%.1fx savings)\n",
+			res.TotalEnergyJ, res.NoSleepEnergyJ, res.EnergySavings())
+		fmt.Fprintf(w, "MAC: %d frames sent, %d delivered, %d collided, %d missed asleep\n",
+			res.MAC.Sent, res.MAC.Delivered, res.MAC.Collided, res.MAC.MissedAsleep)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fastArgs shrinks a run so the CLI tests stay quick.
+func fastArgs(extra ...string) []string {
+	base := []string{
+		"-robots", "10", "-equipped", "5", "-duration", "120", "-T", "30",
+		"-grid", "4",
+	}
+	return append(base, extra...)
+}
+
+func TestRunCoCoAMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-mode", "cocoa"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mean error over time", "fix rate", "energy", "MAC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOdometryMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-mode", "odometry"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "fix rate") {
+		t.Error("odometry mode printed RF statistics")
+	}
+	if !strings.Contains(out, "mode=odometry-only") {
+		t.Errorf("output missing mode line:\n%s", out)
+	}
+}
+
+func TestRunRFMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-mode", "rf"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mode=rf-only") {
+		t.Error("output missing rf-only mode line")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-csv"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_s,avg_error_m\n") {
+		t.Errorf("CSV header missing:\n%.80s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 100 {
+		t.Errorf("CSV too short: %d lines", lines)
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-mode", "teleport"), &buf); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-equipped", "999"), &buf); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"mode": "cocoa"`, `"meanErrorM"`, `"energySavings"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSeriesFiles(t *testing.T) {
+	dir := t.TempDir()
+	series := dir + "/series.csv"
+	robots := dir + "/robots.csv"
+	var buf bytes.Buffer
+	if err := run(fastArgs("-series", series, "-robots-out", robots), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{series, robots} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "time_s,") {
+			t.Errorf("%s missing CSV header: %.40s", path, data)
+		}
+	}
+}
+
+func TestRunSeriesFileError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-series", "/no/such/dir/x.csv"), &buf); err == nil {
+		t.Fatal("unwritable series path accepted")
+	}
+}
+
+func TestRunUncoordinated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-no-coordination"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.0x savings") {
+		t.Errorf("uncoordinated run should report 1.0x savings:\n%s", buf.String())
+	}
+}
+
+func TestRunEventsFile(t *testing.T) {
+	dir := t.TempDir()
+	events := dir + "/events.jsonl"
+	var buf bytes.Buffer
+	if err := run(fastArgs("-events", events), &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"fix"`) {
+		t.Errorf("event log lacks fix events: %.120s", data)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines < 10 {
+		t.Errorf("only %d events logged", lines)
+	}
+}
+
+func TestRunLocalizerBackends(t *testing.T) {
+	for _, backend := range []string{"particle", "ekf"} {
+		var buf bytes.Buffer
+		if err := run(fastArgs("-localizer", backend), &buf); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(fastArgs("-localizer", "psychic"), &buf); err == nil {
+		t.Fatal("unknown localizer accepted")
+	}
+}
+
+func TestRunRoughTerrain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-mode", "odometry", "-terrain", "3"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean error over time") {
+		t.Error("summary missing")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func fastArgs(extra ...string) []string {
+	base := []string{"-robots", "8", "-equipped", "4", "-duration", "90", "-T", "30"}
+	return append(base, extra...)
+}
+
+func TestDeploymentToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Errorf("not SVG: %.60s", out)
+	}
+	if !strings.Contains(out, "mean err") {
+		t.Error("deployment caption missing")
+	}
+}
+
+func TestPathToFile(t *testing.T) {
+	out := t.TempDir() + "/drift.svg"
+	var buf bytes.Buffer
+	if err := run([]string{"-path", "-duration", "120", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "final gap") {
+		t.Error("path caption missing")
+	}
+	if buf.Len() != 0 {
+		t.Error("wrote to stdout despite -o")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-equipped", "99"), &buf); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

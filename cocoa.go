@@ -1,0 +1,316 @@
+// Package cocoa is the public API of the CoCoA reproduction: Coordinated
+// Cooperative Ad-Hoc localization for mobile multi-robot networks
+// (Koutsonikolas, Das, Hu, Lu, Lee — ICDCS 2006).
+//
+// CoCoA equips only a subset of a robot team with localization devices;
+// those robots broadcast RF beacons carrying their coordinates while the
+// rest localize themselves with Bayesian inference over RSSI-calibrated
+// distance PDFs, dead-reckoning with odometry between beacon rounds. A
+// multicast-coordinated sleep schedule keeps the radios off between
+// transmit windows, which is where the energy savings come from.
+//
+// Quick start:
+//
+//	cfg := cocoa.DefaultConfig()
+//	cfg.DurationS = 600
+//	res, err := cocoa.Run(cfg)
+//	// res.AvgError is the localization-error time series;
+//	// res.EnergySavings() is the coordination payoff.
+//
+// The Experiments type re-exposes the per-figure runners that regenerate
+// every table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package cocoa
+
+import (
+	"cocoa/internal/caltable"
+	icocoa "cocoa/internal/cocoa"
+	"cocoa/internal/energy"
+	"cocoa/internal/geom"
+	"cocoa/internal/georouting"
+	"cocoa/internal/mobility"
+	"cocoa/internal/odometry"
+	"cocoa/internal/radio"
+	"cocoa/internal/scenario"
+)
+
+// Core types: the deployment configuration, the assembled team, and the
+// run result.
+type (
+	// Config describes one simulated deployment; see DefaultConfig.
+	Config = icocoa.Config
+	// Mode selects odometry-only, RF-only, or combined localization.
+	Mode = icocoa.Mode
+	// Team is an assembled deployment ready to Run.
+	Team = icocoa.Team
+	// Result carries error time series, energy ledger, and protocol
+	// counters of one run.
+	Result = icocoa.Result
+	// BeaconPayload is the on-air beacon content.
+	BeaconPayload = icocoa.BeaconPayload
+	// SyncPayload is the SYNC message disseminated over MRMM.
+	SyncPayload = icocoa.SyncPayload
+)
+
+// Substrate configuration types, exposed so callers can tune the models.
+type (
+	// Vec2 is a 2D point in meters.
+	Vec2 = geom.Vec2
+	// Rect is an axis-aligned deployment area.
+	Rect = geom.Rect
+	// RadioModel parameterizes the 802.11b channel.
+	RadioModel = radio.Model
+	// EnergyParams holds the per-state radio power draw.
+	EnergyParams = energy.Params
+	// OdometryConfig holds the dead-reckoning error model.
+	OdometryConfig = odometry.Config
+	// CalibrationOptions controls the offline PDF-table construction.
+	CalibrationOptions = caltable.Options
+	// MobilityConfig parameterizes the random-waypoint movement model.
+	MobilityConfig = mobility.Config
+)
+
+// Localization modes (the paper's three evaluated approaches).
+const (
+	ModeOdometryOnly = icocoa.ModeOdometryOnly
+	ModeRFOnly       = icocoa.ModeRFOnly
+	ModeCombined     = icocoa.ModeCombined
+)
+
+// DefaultConfig returns the paper's Section 4 evaluation setup: 50 robots
+// in a 200 m x 200 m area, half equipped, T = 100 s, t = 3 s, k = 3,
+// 30-minute runs, coordinated sleeping.
+func DefaultConfig() Config { return icocoa.DefaultConfig() }
+
+// NewTeam assembles a deployment (including the offline calibration
+// phase).
+func NewTeam(cfg Config) (*Team, error) { return icocoa.NewTeam(cfg) }
+
+// Run assembles and runs a deployment in one call.
+func Run(cfg Config) (*Result, error) { return icocoa.Run(cfg) }
+
+// Square returns a side x side deployment area anchored at the origin.
+func Square(side float64) Rect { return geom.Square(side) }
+
+// Experiment runner re-exports: everything cmd/cocoaexp uses to regenerate
+// the paper's figures, available to library users as well.
+type (
+	// ExperimentOptions scales a figure run without changing its shape.
+	ExperimentOptions = scenario.Options
+	// Series is one labeled curve of a figure.
+	Series = scenario.Series
+	// Fig1Result holds the two calibration PDFs of Figure 1.
+	Fig1Result = scenario.Fig1Result
+	// Fig5Result holds the true-vs-odometry path pair of Figure 5.
+	Fig5Result = scenario.Fig5Result
+	// Fig7Result compares the three approaches at one speed.
+	Fig7Result = scenario.Fig7Result
+	// CDFSnapshot is one Figure 8 CDF.
+	CDFSnapshot = scenario.CDFSnapshot
+	// Fig9Row is one beacon-period outcome of Figure 9.
+	Fig9Row = scenario.Fig9Row
+	// Fig10Row is one equipped-count outcome of Figure 10.
+	Fig10Row = scenario.Fig10Row
+)
+
+// ExperimentBeaconSweep is the paper's beacon-period sweep (Figures 6, 9).
+func ExperimentBeaconSweep() []float64 {
+	out := make([]float64, len(scenario.BeaconPeriods))
+	for i, t := range scenario.BeaconPeriods {
+		out[i] = float64(t)
+	}
+	return out
+}
+
+// ExperimentDeviceCounts is the paper's equipped-count sweep (Figure 10).
+func ExperimentDeviceCounts() []int {
+	return append([]int(nil), scenario.EquippedCounts...)
+}
+
+// RunFig1 regenerates Figure 1 (calibration PDFs).
+func RunFig1(opts ExperimentOptions) (*Fig1Result, error) { return scenario.RunFig1(opts) }
+
+// RunFig4 regenerates Figure 4 (odometry-only error over time).
+func RunFig4(opts ExperimentOptions) ([]Series, error) { return scenario.RunFig4(opts) }
+
+// RunFig5 regenerates Figure 5 (true vs odometry-estimated path).
+func RunFig5(opts ExperimentOptions) (*Fig5Result, error) { return scenario.RunFig5(opts) }
+
+// RunFig6 regenerates Figure 6 (RF-only error across beacon periods).
+func RunFig6(opts ExperimentOptions) ([]Series, error) { return scenario.RunFig6(opts) }
+
+// RunFig7 regenerates Figure 7 (CoCoA vs odometry-only vs RF-only).
+func RunFig7(opts ExperimentOptions) ([]Fig7Result, error) { return scenario.RunFig7(opts) }
+
+// RunFig8 regenerates Figure 8 (error CDFs at three instants).
+func RunFig8(opts ExperimentOptions) ([]CDFSnapshot, error) { return scenario.RunFig8(opts) }
+
+// RunFig9 regenerates Figure 9 (beacon-period impact on error and energy).
+func RunFig9(opts ExperimentOptions) ([]Fig9Row, error) { return scenario.RunFig9(opts) }
+
+// RunFig10 regenerates Figure 10 (impact of the number of devices).
+func RunFig10(opts ExperimentOptions) ([]Fig10Row, error) { return scenario.RunFig10(opts) }
+
+// SteadyStateMean averages a curve past the warm-up prefix.
+func SteadyStateMean(s Series, warmupS float64) float64 {
+	return scenario.SteadyStateMean(s, warmupS)
+}
+
+// Extension and ablation rows (DESIGN.md Section 5).
+type (
+	// ExtensionRow compares CoCoA with and without secondary beaconing.
+	ExtensionRow = scenario.ExtensionRow
+	// AblationPruningRow compares MRMM pruning against plain ODMRP.
+	AblationPruningRow = scenario.AblationPruningRow
+	// AblationKRow measures the beacon-redundancy tradeoff.
+	AblationKRow = scenario.AblationKRow
+	// AblationGridRow measures the grid-resolution tradeoff.
+	AblationGridRow = scenario.AblationGridRow
+)
+
+// RunExtensionSecondary evaluates the paper's future-work idea of letting
+// localized unequipped robots beacon too.
+func RunExtensionSecondary(opts ExperimentOptions) ([]ExtensionRow, error) {
+	return scenario.RunExtensionSecondary(opts)
+}
+
+// RunAblationPruning compares MRMM mesh pruning against plain ODMRP.
+func RunAblationPruning(opts ExperimentOptions) ([]AblationPruningRow, error) {
+	return scenario.RunAblationPruning(opts)
+}
+
+// RunAblationK sweeps the per-window beacon redundancy k.
+func RunAblationK(opts ExperimentOptions) ([]AblationKRow, error) {
+	return scenario.RunAblationK(opts)
+}
+
+// RunAblationGrid sweeps the Bayesian grid resolution.
+func RunAblationGrid(opts ExperimentOptions) ([]AblationGridRow, error) {
+	return scenario.RunAblationGrid(opts)
+}
+
+// Extension studies beyond the paper's evaluation (each grounded in its
+// design or future-work sections).
+type (
+	// AblationLocalizerRow compares the grid and particle backends.
+	AblationLocalizerRow = scenario.AblationLocalizerRow
+	// PowerControlRow is one transmit-power sweep outcome.
+	PowerControlRow = scenario.PowerControlRow
+	// ClockSkewRow quantifies SYNC's value under clock drift.
+	ClockSkewRow = scenario.ClockSkewRow
+)
+
+// Localization backends for Config.Localizer.
+const (
+	LocalizerGrid     = icocoa.LocalizerGrid
+	LocalizerParticle = icocoa.LocalizerParticle
+	LocalizerEKF      = icocoa.LocalizerEKF
+)
+
+// LocalizerKind selects the RF estimation backend.
+type LocalizerKind = icocoa.LocalizerKind
+
+// RunAblationLocalizer compares the paper's grid estimator with Monte
+// Carlo localization on the same deployment.
+func RunAblationLocalizer(opts ExperimentOptions) ([]AblationLocalizerRow, error) {
+	return scenario.RunAblationLocalizer(opts)
+}
+
+// RunExtensionPowerControl sweeps beacon transmit power (the paper's
+// future-work question on cooperation distance).
+func RunExtensionPowerControl(opts ExperimentOptions) ([]PowerControlRow, error) {
+	return scenario.RunExtensionPowerControl(opts)
+}
+
+// RunExtensionClockSkew sweeps per-period clock drift with and without
+// SYNC dissemination.
+func RunExtensionClockSkew(opts ExperimentOptions) ([]ClockSkewRow, error) {
+	return scenario.RunExtensionClockSkew(opts)
+}
+
+// Geographic routing over robot positions — the application the paper's
+// conclusion motivates (Bose et al.'s greedy-face-greedy).
+type (
+	// GeoGraph is a connectivity + belief snapshot for routing.
+	GeoGraph = georouting.Graph
+	// GeoOutcome describes one routing attempt.
+	GeoOutcome = georouting.Outcome
+	// GeoStats aggregates routing outcomes.
+	GeoStats = georouting.Stats
+)
+
+// NewGeoGraph builds a routing snapshot: truth defines radio connectivity,
+// belief drives forwarding decisions.
+func NewGeoGraph(truth, belief []Vec2, rangeM float64) (*GeoGraph, error) {
+	return georouting.NewGraph(truth, belief, rangeM)
+}
+
+// BaselineRow compares localization systems at the same deployment scale.
+type BaselineRow = scenario.BaselineRow
+
+// RunBaselineCoopPos compares CoCoA with the Cooperative Positioning
+// baseline (Kurazume et al., related work Section 5) and odometry-only.
+func RunBaselineCoopPos(opts ExperimentOptions) ([]BaselineRow, error) {
+	return scenario.RunBaselineCoopPos(opts)
+}
+
+// Observability: event hooks and types (serialized by internal/eventlog
+// through the cocoasim -events flag).
+type (
+	// Event is one observable occurrence in a run.
+	Event = icocoa.Event
+	// EventKind enumerates observable occurrences.
+	EventKind = icocoa.EventKind
+	// Observer consumes run events inline with the simulation.
+	Observer = icocoa.Observer
+)
+
+// Event kinds.
+const (
+	EventWindowStart = icocoa.EventWindowStart
+	EventWindowEnd   = icocoa.EventWindowEnd
+	EventBeaconSent  = icocoa.EventBeaconSent
+	EventFix         = icocoa.EventFix
+	EventFixMissed   = icocoa.EventFixMissed
+	EventSleep       = icocoa.EventSleep
+	EventWake        = icocoa.EventWake
+	EventSyncRecv    = icocoa.EventSyncRecv
+	EventFailure     = icocoa.EventFailure
+)
+
+// Robustness studies.
+type (
+	// FailureRow is one failure-injection outcome.
+	FailureRow = scenario.FailureRow
+	// Replication holds cross-seed statistics of the headline metric.
+	Replication = scenario.Replication
+)
+
+// RunFailureInjection kills equipped robots mid-run and measures CoCoA's
+// graceful degradation.
+func RunFailureInjection(opts ExperimentOptions) ([]FailureRow, error) {
+	return scenario.RunFailureInjection(opts)
+}
+
+// RunReplication repeats the default deployment across seeds and reports
+// the cross-seed spread of the mean localization error.
+func RunReplication(opts ExperimentOptions, seeds int) (Replication, error) {
+	return scenario.RunReplication(opts, seeds)
+}
+
+// ReportingRow measures the controller-reporting data path.
+type ReportingRow = scenario.ReportingRow
+
+// RunExtensionReporting exercises greedy geographic unicast of status
+// reports to the Sync robot over CoCoA coordinates.
+func RunExtensionReporting(opts ExperimentOptions) ([]ReportingRow, error) {
+	return scenario.RunExtensionReporting(opts)
+}
+
+// TerrainRow compares smooth and rough ground for one localization mode.
+type TerrainRow = scenario.TerrainRow
+
+// RunExtensionTerrain quantifies the introduction's uneven-surfaces
+// concern: rough ground degrades odometry, CoCoA's RF fixes neutralize it.
+func RunExtensionTerrain(opts ExperimentOptions) ([]TerrainRow, error) {
+	return scenario.RunExtensionTerrain(opts)
+}

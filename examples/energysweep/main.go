@@ -1,0 +1,68 @@
+// The energysweep example walks the operator decision the paper's Section
+// 4.3.1 teaches: choosing the beacon period T. It sweeps T, prints the
+// accuracy-vs-energy frontier, and recommends the knee (the paper's answer:
+// 50-100 s).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cocoa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "energysweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	periods := []float64{10, 25, 50, 100, 200, 300}
+	fmt.Println("Sweeping beacon period T (20 robots, 10 equipped, 10 simulated minutes)...")
+	fmt.Printf("\n%6s %14s %14s %14s %10s\n",
+		"T(s)", "mean err (m)", "energy (J)", "no-coord (J)", "savings")
+
+	type row struct {
+		T       float64
+		err     float64
+		energy  float64
+		savings float64
+	}
+	var rows []row
+	for _, T := range periods {
+		cfg := cocoa.DefaultConfig()
+		cfg.NumRobots = 20
+		cfg.NumEquipped = 10
+		cfg.BeaconPeriodS = T
+		cfg.DurationS = 600
+		cfg.Seed = 5
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return err
+		}
+		r := row{T: T, err: res.MeanError(), energy: res.TotalEnergyJ, savings: res.EnergySavings()}
+		rows = append(rows, r)
+		fmt.Printf("%6.0f %14.2f %14.0f %14.0f %9.1fx\n",
+			r.T, r.err, r.energy, res.NoSleepEnergyJ, r.savings)
+	}
+
+	// The knee: the largest T whose accuracy is within 25% of the best.
+	best := rows[0].err
+	for _, r := range rows {
+		if r.err < best {
+			best = r.err
+		}
+	}
+	var knee row
+	for _, r := range rows {
+		if r.err <= best*1.25 {
+			knee = r
+		}
+	}
+	fmt.Printf("\nrecommended beacon period: T = %.0f s "+
+		"(accuracy within 25%% of best, %.1fx energy savings)\n", knee.T, knee.savings)
+	fmt.Println("(the paper lands on T in [50, 100] s for the full 50-robot team)")
+	return nil
+}

@@ -1,0 +1,3 @@
+module cocoa
+
+go 1.22

@@ -1,0 +1,38 @@
+package bayes
+
+import (
+	"testing"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/geom"
+)
+
+// BenchmarkApplyBeacon measures the per-beacon grid update — the hot path
+// of the whole simulation (10,000 cells at the paper's 2 m resolution).
+func BenchmarkApplyBeacon(b *testing.B) {
+	g, err := NewGrid(geom.Square(200), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdf := caltable.GaussianPDF{Mu: 40, Sigma: 5}
+	pos := geom.Vec2{X: 70, Y: 120}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ApplyBeacon(pos, pdf)
+		if i%16 == 15 {
+			g.Reset()
+		}
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	g, err := NewGrid(geom.Square(200), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.ApplyBeacon(geom.Vec2{X: 70, Y: 120}, caltable.GaussianPDF{Mu: 40, Sigma: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Estimate()
+	}
+}

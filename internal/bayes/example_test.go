@@ -1,0 +1,28 @@
+package bayes_test
+
+import (
+	"fmt"
+
+	"cocoa/internal/bayes"
+	"cocoa/internal/caltable"
+	"cocoa/internal/geom"
+)
+
+// ExampleGrid trilaterates a robot from three beacons with known distance
+// distributions — the core of the paper's Section 2.2 algorithm.
+func ExampleGrid() {
+	grid, err := bayes.NewGrid(geom.Square(200), 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	truth := geom.Vec2{X: 70, Y: 120}
+	for _, anchor := range []geom.Vec2{{X: 40, Y: 100}, {X: 100, Y: 140}, {X: 80, Y: 60}} {
+		grid.ApplyBeacon(anchor, caltable.GaussianPDF{Mu: truth.Dist(anchor), Sigma: 2})
+	}
+	fmt.Println("ready:", grid.Ready())
+	fmt.Println("error below 5 m:", grid.Estimate().Dist(truth) < 5)
+	// Output:
+	// ready: true
+	// error below 5 m: true
+}

@@ -1,0 +1,254 @@
+// Package caltable implements the offline calibration phase of the
+// Sichitiu-Ramadurai localization algorithm as used by CoCoA: it builds the
+// PDF Table, stored at each robot, mapping every (quantized) RSSI value to
+// a probability distribution function of distance.
+//
+// The paper calibrated against outdoor WaveLAN measurements and found the
+// distance PDF to be Gaussian for RSSI down to about -80 dBm (distances up
+// to ~40 m) and non-Gaussian beyond, where multipath and fading dominate
+// (Figure 1). This package reproduces that procedure by Monte-Carlo
+// sounding of the same channel model the simulation uses: for each RSSI
+// bin it fits a Gaussian when the bin's nominal distance is within the
+// Gaussian regime and falls back to an empirical histogram otherwise.
+package caltable
+
+import (
+	"fmt"
+	"math"
+
+	"cocoa/internal/radio"
+	"cocoa/internal/sim"
+)
+
+// DistPDF is a probability density over distance in meters.
+type DistPDF interface {
+	// Density returns the probability density at distance d.
+	Density(d float64) float64
+	// Mean returns the distribution's mean distance.
+	Mean() float64
+	// Std returns the distribution's standard deviation, which parametric
+	// estimators (e.g. an EKF) use as the range-measurement noise.
+	Std() float64
+	// IsGaussian reports whether the PDF was fit as a Gaussian.
+	IsGaussian() bool
+}
+
+// GaussianPDF is a normal distance distribution, the near-regime fit.
+type GaussianPDF struct {
+	Mu    float64
+	Sigma float64
+}
+
+var _ DistPDF = GaussianPDF{}
+
+// Density implements DistPDF.
+func (g GaussianPDF) Density(d float64) float64 {
+	z := (d - g.Mu) / g.Sigma
+	return math.Exp(-0.5*z*z) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Mean implements DistPDF.
+func (g GaussianPDF) Mean() float64 { return g.Mu }
+
+// Std implements DistPDF.
+func (g GaussianPDF) Std() float64 { return g.Sigma }
+
+// IsGaussian implements DistPDF.
+func (g GaussianPDF) IsGaussian() bool { return true }
+
+// EmpiricalPDF is a normalized histogram over distance, the far-regime
+// representation where the Gaussian assumption breaks down.
+type EmpiricalPDF struct {
+	BinWidth float64
+	// Density per bin; bin i covers [i*BinWidth, (i+1)*BinWidth).
+	Bins []float64
+	mean float64
+	std  float64
+}
+
+var _ DistPDF = (*EmpiricalPDF)(nil)
+
+// Density implements DistPDF.
+func (e *EmpiricalPDF) Density(d float64) float64 {
+	if d < 0 {
+		return 0
+	}
+	i := int(d / e.BinWidth)
+	if i >= len(e.Bins) {
+		return 0
+	}
+	return e.Bins[i]
+}
+
+// Mean implements DistPDF.
+func (e *EmpiricalPDF) Mean() float64 { return e.mean }
+
+// Std implements DistPDF.
+func (e *EmpiricalPDF) Std() float64 { return e.std }
+
+// IsGaussian implements DistPDF.
+func (e *EmpiricalPDF) IsGaussian() bool { return false }
+
+// Options parameterizes the calibration phase.
+type Options struct {
+	// MaxDist is the maximum sounded distance in meters; it should cover
+	// the radio range.
+	MaxDist float64
+	// Samples is the total number of Monte-Carlo channel soundings.
+	Samples int
+	// HistBinM is the histogram bin width for non-Gaussian PDFs.
+	HistBinM float64
+	// GaussianLimitM is the distance boundary of the Gaussian regime
+	// (paper: 40 m).
+	GaussianLimitM float64
+	// MinBinSamples is the minimum soundings an RSSI bin needs before a
+	// PDF is stored for it.
+	MinBinSamples int
+}
+
+// DefaultOptions returns calibration options matched to the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		MaxDist:        220,
+		Samples:        400000,
+		HistBinM:       2,
+		GaussianLimitM: 40,
+		MinBinSamples:  50,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	switch {
+	case o.MaxDist <= 0:
+		return fmt.Errorf("caltable: MaxDist must be positive")
+	case o.Samples <= 0:
+		return fmt.Errorf("caltable: Samples must be positive")
+	case o.HistBinM <= 0:
+		return fmt.Errorf("caltable: HistBinM must be positive")
+	case o.GaussianLimitM <= 0:
+		return fmt.Errorf("caltable: GaussianLimitM must be positive")
+	case o.MinBinSamples <= 0:
+		return fmt.Errorf("caltable: MinBinSamples must be positive")
+	}
+	return nil
+}
+
+// Table is the PDF Table stored at each robot: quantized RSSI -> distance
+// PDF.
+type Table struct {
+	minRSSI int
+	pdfs    []DistPDF // index = rssi - minRSSI; nil where uncalibrated
+	maxDist float64
+}
+
+// Lookup returns the distance PDF for an observed RSSI (dBm), quantized to
+// the nearest integer as a real card reports it. The second return is
+// false when the RSSI value was never calibrated.
+func (t *Table) Lookup(rssiDBm float64) (DistPDF, bool) {
+	i := int(math.Round(rssiDBm)) - t.minRSSI
+	if i < 0 || i >= len(t.pdfs) || t.pdfs[i] == nil {
+		return nil, false
+	}
+	return t.pdfs[i], true
+}
+
+// MaxDist returns the calibrated distance horizon.
+func (t *Table) MaxDist() float64 { return t.maxDist }
+
+// CalibratedRange returns the weakest and strongest RSSI values that have a
+// PDF, for diagnostics and plotting (Figure 1).
+func (t *Table) CalibratedRange() (minRSSI, maxRSSI int, ok bool) {
+	lo, hi := -1, -1
+	for i, p := range t.pdfs {
+		if p == nil {
+			continue
+		}
+		if lo == -1 {
+			lo = i
+		}
+		hi = i
+	}
+	if lo == -1 {
+		return 0, 0, false
+	}
+	return t.minRSSI + lo, t.minRSSI + hi, true
+}
+
+// Calibrate performs the offline calibration phase against the given
+// channel model. This mirrors the paper's procedure of driving a robot to
+// known distances and recording RSSI, except the channel is the simulated
+// one — the same substitution the evaluation section of DESIGN.md records.
+func Calibrate(m radio.Model, opts Options, rng *sim.RNG) (*Table, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+
+	minRSSI := int(math.Floor(m.MinRSSIDBm))
+	maxRSSI := int(math.Ceil(m.MaxRSSIDBm))
+	nBins := maxRSSI - minRSSI + 1
+	dists := make([][]float64, nBins)
+
+	for i := 0; i < opts.Samples; i++ {
+		d := rng.Uniform(0.5, opts.MaxDist)
+		r := m.SampleRSSI(d, rng)
+		bin := int(math.Round(r)) - minRSSI
+		if bin < 0 || bin >= nBins {
+			continue
+		}
+		dists[bin] = append(dists[bin], d)
+	}
+
+	t := &Table{minRSSI: minRSSI, pdfs: make([]DistPDF, nBins), maxDist: opts.MaxDist}
+	for bin, ds := range dists {
+		if len(ds) < opts.MinBinSamples {
+			continue
+		}
+		mean, std := meanStd(ds)
+		nominal := m.DistanceForRSSI(float64(minRSSI + bin))
+		if nominal <= opts.GaussianLimitM && std > 0 {
+			t.pdfs[bin] = GaussianPDF{Mu: mean, Sigma: std}
+			continue
+		}
+		t.pdfs[bin] = histogram(ds, opts.HistBinM, opts.MaxDist, mean, std)
+	}
+	return t, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var m2 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+	}
+	if n > 1 {
+		std = math.Sqrt(m2 / (n - 1))
+	}
+	return mean, std
+}
+
+func histogram(ds []float64, binW, maxDist, mean, std float64) *EmpiricalPDF {
+	n := int(math.Ceil(maxDist/binW)) + 1
+	bins := make([]float64, n)
+	for _, d := range ds {
+		i := int(d / binW)
+		if i >= n {
+			i = n - 1
+		}
+		bins[i]++
+	}
+	// Normalize counts to a density: sum(bins)*binW == 1.
+	total := float64(len(ds)) * binW
+	for i := range bins {
+		bins[i] /= total
+	}
+	return &EmpiricalPDF{BinWidth: binW, Bins: bins, mean: mean, std: std}
+}

@@ -1,0 +1,149 @@
+package cocoa
+
+import (
+	"fmt"
+	"math"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/mac"
+	"cocoa/internal/metrics"
+	"cocoa/internal/mrmm"
+)
+
+// Result holds everything a run measured: the localization-error time
+// series (per robot and team-averaged), the energy ledger, and protocol
+// counters.
+type Result struct {
+	Config Config
+
+	// Times and AvgError form the error-over-time series the paper plots
+	// (Figures 4, 6, 7, 9a, 10): the average over tracked robots at each
+	// sample instant.
+	Times    []float64
+	AvgError []float64
+	// PerRobot[i][k] is tracked robot i's error at Times[k], retained so
+	// CDF snapshots (Figure 8) can be cut at any instant.
+	PerRobot   [][]float64
+	TrackedIDs []int
+
+	// Energy ledger (Figure 9b). NoSleepEnergyJ is the counterfactual
+	// "without coordination" total computed from the same run: every
+	// sleep interval re-priced at idle power.
+	TotalEnergyJ    float64
+	NoSleepEnergyJ  float64
+	PerRobotEnergyJ []float64
+
+	// Protocol diagnostics.
+	MAC            mac.Stats
+	MRMM           mrmm.Stats
+	Fixes          int
+	MissedWindows  int
+	BeaconsApplied int
+	SyncsReceived  int
+
+	// Controller-reporting outcome (Config.EnableReporting).
+	ReportsSent      int
+	ReportsDelivered int
+	ReportHopsTotal  int
+
+	// Final state for every robot (indexed by robot ID): where it really
+	// ended and where it believed it was. Downstream consumers (e.g. the
+	// geographic-routing example) build on these.
+	FinalTruePositions []geom.Vec2
+	FinalEstimates     []geom.Vec2
+	Equipped           []bool
+}
+
+func newResult(cfg Config, tracked []int) *Result {
+	return &Result{
+		Config:     cfg,
+		TrackedIDs: tracked,
+		PerRobot:   make([][]float64, len(tracked)),
+	}
+}
+
+// MeanError returns the localization error averaged over robots and time —
+// the paper's "average localization error over time" headline metric.
+func (r *Result) MeanError() float64 {
+	if len(r.AvgError) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range r.AvgError {
+		s += v
+	}
+	return s / float64(len(r.AvgError))
+}
+
+// MaxAvgError returns the worst team-averaged error over time.
+func (r *Result) MaxAvgError() float64 {
+	if len(r.AvgError) == 0 {
+		return math.NaN()
+	}
+	m := r.AvgError[0]
+	for _, v := range r.AvgError[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Series returns the average-error time series.
+func (r *Result) Series() *metrics.TimeSeries {
+	ts := &metrics.TimeSeries{}
+	for i := range r.Times {
+		ts.Add(r.Times[i], r.AvgError[i])
+	}
+	return ts
+}
+
+// ErrorCDFAt returns the CDF of per-robot error at the sample instant
+// closest to t — Figure 8's three snapshots.
+func (r *Result) ErrorCDFAt(t float64) (*metrics.CDF, error) {
+	if len(r.Times) == 0 {
+		return nil, fmt.Errorf("cocoa: result has no samples")
+	}
+	k := 0
+	best := math.Inf(1)
+	for i, ti := range r.Times {
+		if d := math.Abs(ti - t); d < best {
+			best, k = d, i
+		}
+	}
+	xs := make([]float64, 0, len(r.PerRobot))
+	for _, series := range r.PerRobot {
+		if k < len(series) {
+			xs = append(xs, series[k])
+		}
+	}
+	return metrics.NewCDF(xs), nil
+}
+
+// ReportDeliveryRate returns the fraction of controller reports that
+// reached the Sync robot (NaN when reporting was off or nothing was sent).
+func (r *Result) ReportDeliveryRate() float64 {
+	if r.ReportsSent == 0 {
+		return math.NaN()
+	}
+	return float64(r.ReportsDelivered) / float64(r.ReportsSent)
+}
+
+// EnergySavings returns the paper's Figure 9(b) ratio: energy without
+// coordination over energy with coordination.
+func (r *Result) EnergySavings() float64 {
+	if r.TotalEnergyJ == 0 {
+		return math.NaN()
+	}
+	return r.NoSleepEnergyJ / r.TotalEnergyJ
+}
+
+// FixRate returns the fraction of (robot, window) opportunities that ended
+// in a successful RF fix.
+func (r *Result) FixRate() float64 {
+	total := r.Fixes + r.MissedWindows
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.Fixes) / float64(total)
+}

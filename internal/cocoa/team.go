@@ -1,0 +1,520 @@
+package cocoa
+
+import (
+	"fmt"
+
+	"cocoa/internal/bayes"
+	"cocoa/internal/caltable"
+	"cocoa/internal/ekf"
+	"cocoa/internal/geom"
+	"cocoa/internal/geounicast"
+	"cocoa/internal/mac"
+	"cocoa/internal/mcl"
+	"cocoa/internal/mobility"
+	"cocoa/internal/mrmm"
+	"cocoa/internal/network"
+	"cocoa/internal/odometry"
+	"cocoa/internal/sim"
+	"cocoa/internal/terrain"
+)
+
+// Team is one assembled deployment, ready to run.
+type Team struct {
+	cfg      Config
+	sim      *sim.Simulator
+	med      *mac.Medium
+	table    *caltable.Table
+	robots   []*robot
+	rng      *sim.RNG
+	clockRng *sim.RNG
+	syncID   int
+	ran      bool
+
+	observers []Observer
+	terrain   *terrain.Field
+
+	// Controller-reporting counters (Config.EnableReporting).
+	reportsSent      int
+	reportsDelivered int
+	reportHops       int
+}
+
+// NewTeam assembles a deployment from the configuration. The calibration
+// phase (PDF Table construction) runs here, before the mission starts,
+// exactly as the paper's offline calibration does.
+func NewTeam(cfg Config) (*Team, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(cfg.Seed)
+	s := sim.New()
+
+	med, err := mac.NewMedium(s, mac.DefaultConfig(cfg.Radio), root.Stream("mac"))
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Team{
+		cfg:      cfg,
+		sim:      s,
+		med:      med,
+		rng:      root.Stream("team"),
+		clockRng: root.Stream("clock"),
+	}
+
+	if cfg.TerrainAmplitude > 0 {
+		field, err := terrain.New(cfg.Seed, cfg.TerrainCellM, cfg.TerrainAmplitude)
+		if err != nil {
+			return nil, err
+		}
+		t.terrain = field
+	}
+
+	needRF := cfg.Mode != ModeOdometryOnly
+	if needRF {
+		table, err := caltable.Calibrate(cfg.Radio, cfg.Calibration, root.Stream("calibration"))
+		if err != nil {
+			return nil, fmt.Errorf("calibration: %w", err)
+		}
+		t.table = table
+	}
+
+	mobCfg := cfg.mobilityConfig()
+	center := cfg.Area.Center()
+	for id := 0; id < cfg.NumRobots; id++ {
+		way, err := mobility.NewWaypoint(mobCfg, root.StreamN("mobility", id))
+		if err != nil {
+			return nil, err
+		}
+		r := &robot{
+			id:       id,
+			equipped: id < cfg.NumEquipped,
+			way:      way,
+			estimate: center,
+		}
+		r.lastTruePos = way.Position(0)
+
+		// Odometry anchor: the paper's odometry-only experiment provides
+		// robots with their true initial coordinates; RF modes start the
+		// reckoner at the uniform-prior mean (the area center) because no
+		// initial position is given.
+		anchor := center
+		if cfg.Mode == ModeOdometryOnly {
+			anchor = r.lastTruePos
+		}
+		r.reckoner, err = odometry.NewDeadReckoner(cfg.Odometry, root.StreamN("odometry", id), anchor)
+		if err != nil {
+			return nil, err
+		}
+
+		r.nic = network.NewNIC(s, med, cfg.Energy, id, func() geom.Vec2 {
+			return r.way.Position(s.Now())
+		})
+
+		if !needRF {
+			// Odometry-only robots do not use the radio at all.
+			r.nic.PowerOff()
+			t.robots = append(t.robots, r)
+			continue
+		}
+
+		if !r.equipped {
+			r.loc, err = newLocalizer(cfg, root, id)
+			if err != nil {
+				return nil, err
+			}
+			r.nic.Handle(network.KindBeacon, func(f mac.Frame, rssi float64) {
+				r.onBeacon(f, rssi, t.lookupPDF)
+			})
+		}
+
+		r.proto, err = mrmm.New(s, r.nic, cfg.mrmmConfig(), root.StreamN("mrmm", id),
+			func() mrmm.MobilityInfo {
+				return mrmm.MobilityInfo{
+					Pos:  r.way.Position(s.Now()),
+					Vel:  r.way.Velocity(),
+					Rest: r.way.RestRemaining(s.Now()),
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		r.proto.SetMember(true)
+		r.proto.OnData(func(d mrmm.Data, _ float64) {
+			if sp, ok := d.Payload.(SyncPayload); ok {
+				r.scheduleKnown = true
+				r.syncsReceived++
+				// Resynchronize the robot's timers to the Sync robot.
+				r.syncedThisPeriod = true
+				r.clockErr = 0
+				r.lastSyncPos = sp.SyncPos
+				r.haveSyncPos = true
+				t.emitSimple(EventSyncRecv, r.id)
+			}
+		})
+		if cfg.DisableSync {
+			// Preprogrammed schedule: every robot knows T and t from
+			// deployment, but nothing ever corrects its clock.
+			r.scheduleKnown = true
+		}
+
+		if cfg.EnableReporting {
+			r.agent, err = geounicast.New(s, r.nic, geounicast.DefaultConfig(),
+				root.StreamN("unicast", id), func() geom.Vec2 {
+					return r.currentEstimate(cfg.Mode, s.Now())
+				})
+			if err != nil {
+				return nil, err
+			}
+			if id == t.syncID {
+				r.agent.OnDeliver(func(p geounicast.Packet) {
+					t.reportsDelivered++
+					t.reportHops += p.Hops
+				})
+			}
+		}
+
+		t.robots = append(t.robots, r)
+	}
+
+	// The Sync robot is the first equipped robot. It defines the team's
+	// time base, so its own clock is error-free by definition.
+	t.syncID = 0
+	if needRF && t.robots[t.syncID].equipped {
+		t.robots[t.syncID].scheduleKnown = true
+	}
+	return t, nil
+}
+
+// newLocalizer builds the configured RF estimation backend for one robot.
+func newLocalizer(cfg Config, root *sim.RNG, id int) (Localizer, error) {
+	switch cfg.Localizer {
+	case LocalizerParticle:
+		mc := mcl.DefaultConfig(cfg.Area)
+		mc.Particles = cfg.Particles
+		return mcl.New(mc, root.StreamN("mcl", id))
+	case LocalizerEKF:
+		return ekf.New(ekf.DefaultConfig(cfg.Area))
+	default:
+		return bayes.NewGrid(cfg.Area, cfg.GridCellM)
+	}
+}
+
+// lookupPDF adapts the calibration table to the bayes consumer interface.
+func (t *Team) lookupPDF(rssiDBm float64) (bayes.DistanceDensity, bool) {
+	pdf, ok := t.table.Lookup(rssiDBm)
+	if !ok {
+		return nil, false
+	}
+	return pdf, true
+}
+
+// Table exposes the calibrated PDF table (nil in odometry-only mode), used
+// by the Figure 1 experiment.
+func (t *Team) Table() *caltable.Table { return t.table }
+
+// Run executes the deployment and collects the result. A team can run only
+// once.
+func (t *Team) Run() (*Result, error) {
+	if t.ran {
+		return nil, fmt.Errorf("cocoa: team already ran")
+	}
+	t.ran = true
+	cfg := t.cfg
+
+	res := newResult(cfg, t.trackedIDs())
+
+	if cfg.Mode != ModeOdometryOnly {
+		t.scheduleWindow(0)
+	}
+
+	// Failure injection: the configured number of equipped robots die at
+	// the configured instant (the Sync robot, id 0, is never chosen so
+	// the schedule survives).
+	if cfg.FailEquippedCount > 0 {
+		t.sim.At(cfg.FailAtS, func() {
+			for i := 0; i < cfg.FailEquippedCount; i++ {
+				t.failRobot(t.sim.Now(), t.robots[cfg.NumEquipped-1-i])
+			}
+		})
+	}
+
+	// Metric sampling and odometry stepping, once per sample interval.
+	dt := float64(cfg.SampleIntervalS)
+	t.sim.EachTick(cfg.SampleIntervalS, cfg.SampleIntervalS, func(now sim.Time) {
+		t.stepRobots(now, dt)
+		t.sample(res, now)
+	})
+
+	t.sim.RunUntil(cfg.DurationS)
+	t.finish(res)
+	return res, nil
+}
+
+// trackedIDs returns the robots whose localization error the experiment
+// reports: all robots in odometry-only mode, the unequipped ones otherwise
+// (the paper reports error only for robots without localization devices).
+func (t *Team) trackedIDs() []int {
+	var ids []int
+	for _, r := range t.robots {
+		if t.cfg.Mode == ModeOdometryOnly || !r.equipped {
+			ids = append(ids, r.id)
+		}
+	}
+	return ids
+}
+
+// stepRobots advances dead reckoning for every robot that uses it.
+func (t *Team) stepRobots(now sim.Time, dt float64) {
+	for _, r := range t.robots {
+		scale := 1.0
+		if t.terrain != nil {
+			p := r.truePos(now)
+			scale = t.terrain.RoughnessAt(p.X, p.Y)
+		}
+		switch {
+		case t.cfg.Mode == ModeOdometryOnly:
+			r.stepOdometry(now, dt, scale)
+		case t.cfg.Mode == ModeCombined && !r.equipped:
+			r.stepOdometry(now, dt, scale)
+		default:
+			// RF-only robots do not dead-reckon; still advance the
+			// mobility process so positions stay current.
+			r.lastTruePos = r.truePos(now)
+		}
+	}
+}
+
+// sample records per-robot localization error at time now.
+func (t *Team) sample(res *Result, now sim.Time) {
+	var sum float64
+	n := 0
+	for i, id := range res.TrackedIDs {
+		r := t.robots[id]
+		err := r.currentEstimate(t.cfg.Mode, now).Dist(r.truePos(now))
+		res.PerRobot[i] = append(res.PerRobot[i], err)
+		sum += err
+		n++
+	}
+	res.Times = append(res.Times, float64(now))
+	res.AvgError = append(res.AvgError, sum/float64(n))
+}
+
+// scheduleWindow arms the events of the beacon period starting at w.
+func (t *Team) scheduleWindow(w sim.Time) {
+	cfg := t.cfg
+	if w >= cfg.DurationS {
+		return
+	}
+	t.sim.At(w, func() { t.startWindow(w) })
+	t.sim.At(w+cfg.TransmitPeriodS, func() { t.endWindow(w) })
+	t.scheduleWindow(w + cfg.BeaconPeriodS)
+}
+
+// startWindow wakes the team, refreshes the MRMM mesh, disseminates SYNC,
+// and schedules the window's beacons.
+func (t *Team) startWindow(w sim.Time) {
+	cfg := t.cfg
+	t.emitSimple(EventWindowStart, -1)
+	// Punctual and early robots are awake by now (their wake timers fired
+	// at w+clockErr <= w); late robots wake when their skewed timer fires.
+	for _, r := range t.robots {
+		if !r.failed && r.clockErr <= 0 {
+			r.nic.Wake()
+		}
+	}
+
+	// Sync robot: mesh refresh, then the SYNC message over the mesh.
+	if !cfg.DisableSync {
+		syncRobot := t.robots[t.syncID]
+		if err := syncRobot.proto.SendQuery(); err == nil {
+			t.sim.Schedule(0.1, func() {
+				_ = syncRobot.proto.SendData(SyncPayload{
+					PeriodS:      cfg.BeaconPeriodS,
+					TransmitS:    cfg.TransmitPeriodS,
+					WindowStartS: w,
+					SyncPos:      syncRobot.truePos(t.sim.Now()),
+				})
+			})
+		}
+	}
+
+	// Beacons: k per equipped robot, spread over the window after a
+	// short guard for SYNC dissemination. Each sender schedules on its
+	// own (possibly skewed) clock.
+	const guard = 0.3
+	usable := float64(cfg.TransmitPeriodS) - guard - 0.05
+	if usable <= 0 {
+		usable = float64(cfg.TransmitPeriodS) * 0.5
+	}
+	for _, r := range t.robots {
+		r := r
+		if r.failed {
+			continue
+		}
+		secondary := cfg.SecondaryBeacons && !r.equipped && r.haveFix
+		if !r.equipped && !secondary {
+			continue
+		}
+		skew := r.clockErr
+		if skew < 0 {
+			skew = 0 // cannot transmit in the past
+		}
+		for j := 0; j < cfg.BeaconsPerWindow; j++ {
+			slot := usable * (float64(j) + t.rng.Float64()) / float64(cfg.BeaconsPerWindow)
+			t.sim.Schedule(skew+guard+slot, func() { t.sendBeacon(r) })
+		}
+	}
+
+	if cfg.EnableReporting {
+		t.scheduleReporting(usable, guard)
+	}
+}
+
+// scheduleReporting arms this window's HELLO exchange and the localized
+// robots' status reports toward the Sync robot.
+func (t *Team) scheduleReporting(usable, guard float64) {
+	for _, r := range t.robots {
+		r := r
+		if r.failed || r.agent == nil {
+			continue
+		}
+		skew := r.clockErr
+		if skew < 0 {
+			skew = 0
+		}
+		t.sim.Schedule(skew+guard+usable*t.rng.Float64(), func() {
+			_ = r.agent.SendHello()
+		})
+		// Reports go out mid-window (everyone is awake) and carry the
+		// robot's previous fix; the Sync robot does not report to itself.
+		if r.id == t.syncID || r.equipped || !r.haveFix || !r.haveSyncPos {
+			continue
+		}
+		t.sim.Schedule(skew+guard+usable*(0.5+0.5*t.rng.Float64()), func() {
+			t.reportsSent++
+			r.agent.Send(t.syncID, r.lastSyncPos, "status-report")
+		})
+	}
+}
+
+// sendBeacon broadcasts one localization beacon from robot r.
+func (t *Team) sendBeacon(r *robot) {
+	now := t.sim.Now()
+	pos := r.truePos(now)
+	payload := BeaconPayload{Sender: r.id, Pos: pos}
+	if !r.equipped {
+		// Secondary beacon: advertise the estimate, not the truth — the
+		// robot does not know its true position.
+		payload.Pos = r.reckoner.Estimate()
+		payload.Secondary = true
+	}
+	if r.nic.Send(network.KindBeacon, network.BeaconBytes, payload) == nil {
+		t.emit(EventBeaconSent, r.id, payload.Pos, 0, 0)
+	}
+}
+
+// endWindow finalizes RF fixes, advances each robot's clock model, and
+// arms the per-robot sleep and wake timers for the next period.
+func (t *Team) endWindow(w sim.Time) {
+	cfg := t.cfg
+	now := t.sim.Now()
+	t.emitSimple(EventWindowEnd, -1)
+	for _, r := range t.robots {
+		if r.failed {
+			continue
+		}
+		if !r.equipped {
+			beacons := r.loc.BeaconCount()
+			fixed := r.loc.Ready()
+			r.finalizeWindow()
+			if len(t.observers) > 0 {
+				if fixed {
+					t.emit(EventFix, r.id, r.estimate,
+						r.estimate.Dist(r.truePos(now)), beacons)
+				} else {
+					t.emit(EventFixMissed, r.id, geom.Vec2{}, 0, beacons)
+				}
+			}
+		}
+
+		// Clock model: a SYNC this period resynchronized the robot;
+		// otherwise its timer error random-walks. The Sync robot defines
+		// the time base and never drifts.
+		if r.id != t.syncID {
+			if !r.syncedThisPeriod && cfg.ClockDriftSigmaS > 0 {
+				r.clockErr += t.clockRng.Normal(0, cfg.ClockDriftSigmaS)
+			}
+		}
+		r.syncedThisPeriod = false
+
+		if !cfg.Coordinated || !r.scheduleKnown {
+			continue // stays awake; no timers to arm
+		}
+		r := r
+		sleepAt := float64(w+cfg.TransmitPeriodS) + r.clockErr
+		if sleepAt < now {
+			sleepAt = now
+		}
+		t.sim.At(sleepAt, func() {
+			if r.failed {
+				return
+			}
+			r.nic.Sleep()
+			t.emitSimple(EventSleep, r.id)
+		})
+		wakeAt := float64(w+cfg.BeaconPeriodS) + r.clockErr
+		if wakeAt <= sleepAt {
+			wakeAt = sleepAt
+		}
+		if wakeAt < float64(cfg.DurationS) {
+			t.sim.At(wakeAt, func() {
+				if r.failed {
+					return
+				}
+				r.nic.Wake()
+				t.emitSimple(EventWake, r.id)
+			})
+		}
+	}
+}
+
+// finish flushes energy meters and aggregates counters into the result.
+func (t *Team) finish(res *Result) {
+	now := t.sim.Now()
+	for _, r := range t.robots {
+		res.FinalTruePositions = append(res.FinalTruePositions, r.truePos(now))
+		res.FinalEstimates = append(res.FinalEstimates, r.currentEstimate(t.cfg.Mode, now))
+		res.Equipped = append(res.Equipped, r.equipped)
+		m := r.nic.Meter()
+		m.Flush(now)
+		res.PerRobotEnergyJ = append(res.PerRobotEnergyJ, m.TotalJ())
+		res.TotalEnergyJ += m.TotalJ()
+		res.NoSleepEnergyJ += m.CounterfactualNoSleepJ()
+		res.Fixes += r.fixes
+		res.MissedWindows += r.missedWindows
+		res.BeaconsApplied += r.beaconsApplied
+		res.SyncsReceived += r.syncsReceived
+		if r.proto != nil {
+			s := r.proto.Stats()
+			res.MRMM.QueriesSent += s.QueriesSent
+			res.MRMM.RepliesSent += s.RepliesSent
+			res.MRMM.DataSent += s.DataSent
+			res.MRMM.DataDelivered += s.DataDelivered
+			res.MRMM.BecameForwarder += s.BecameForwarder
+		}
+	}
+	res.MAC = t.med.Stats()
+	res.ReportsSent = t.reportsSent
+	res.ReportsDelivered = t.reportsDelivered
+	res.ReportHopsTotal = t.reportHops
+}
+
+// Run is the package-level convenience: assemble and run in one call.
+func Run(cfg Config) (*Result, error) {
+	team, err := NewTeam(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return team.Run()
+}

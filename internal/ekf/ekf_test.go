@@ -1,0 +1,159 @@
+package ekf
+
+import (
+	"math"
+	"testing"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/geom"
+)
+
+func newFilter(t *testing.T) *Filter {
+	t.Helper()
+	f, err := New(DefaultConfig(geom.Square(200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(geom.Square(200)).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Area: geom.Rect{}, InitStdM: 1, MinRangeStdM: 1},
+		{Area: geom.Square(10), InitStdM: 0, MinRangeStdM: 1},
+		{Area: geom.Square(10), InitStdM: 1, MinRangeStdM: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid config", i)
+		}
+	}
+}
+
+func TestResetState(t *testing.T) {
+	f := newFilter(t)
+	if f.Ready() {
+		t.Error("Ready before beacons")
+	}
+	if got := f.Estimate(); got != geom.Square(200).Center() {
+		t.Errorf("reset estimate = %v, want area center", got)
+	}
+	if f.Uncertainty() <= 100 {
+		t.Errorf("reset uncertainty = %v, want wide", f.Uncertainty())
+	}
+}
+
+func TestTrilateration(t *testing.T) {
+	f := newFilter(t)
+	truth := geom.Vec2{X: 70, Y: 120}
+	anchors := []geom.Vec2{
+		{X: 40, Y: 100}, {X: 100, Y: 140}, {X: 80, Y: 60},
+		{X: 40, Y: 100}, {X: 100, Y: 140}, {X: 80, Y: 60}, // second round refines
+	}
+	for _, a := range anchors {
+		f.ApplyBeacon(a, caltable.GaussianPDF{Mu: truth.Dist(a), Sigma: 2})
+	}
+	if !f.Ready() {
+		t.Fatal("not Ready after 6 beacons")
+	}
+	if err := f.Estimate().Dist(truth); err > 8 {
+		t.Errorf("EKF trilateration error = %.2f m, want < 8", err)
+	}
+	if f.Uncertainty() > 50 {
+		t.Errorf("uncertainty did not shrink: %v", f.Uncertainty())
+	}
+}
+
+func TestUncertaintyShrinksWithBeacons(t *testing.T) {
+	f := newFilter(t)
+	truth := geom.Vec2{X: 100, Y: 100}
+	anchors := []geom.Vec2{{X: 60, Y: 80}, {X: 140, Y: 90}, {X: 95, Y: 150}}
+	var prev float64 = math.Inf(1)
+	for round := 0; round < 3; round++ {
+		for _, a := range anchors {
+			f.ApplyBeacon(a, caltable.GaussianPDF{Mu: truth.Dist(a), Sigma: 3})
+		}
+		if cur := f.Uncertainty(); cur > prev+1e-9 {
+			t.Errorf("round %d: uncertainty grew %v -> %v", round, prev, cur)
+		} else {
+			prev = cur
+		}
+	}
+}
+
+func TestEstimateStaysInArea(t *testing.T) {
+	f := newFilter(t)
+	area := geom.Square(200)
+	// Contradictory long ranges try to push the state outside.
+	for i := 0; i < 20; i++ {
+		f.ApplyBeacon(geom.Vec2{X: 5, Y: 5}, caltable.GaussianPDF{Mu: 250, Sigma: 2})
+	}
+	if est := f.Estimate(); !area.Contains(est) {
+		t.Errorf("estimate escaped the arena: %v", est)
+	}
+}
+
+func TestNonMomentPDFIgnored(t *testing.T) {
+	f := newFilter(t)
+	f.ApplyBeacon(geom.Vec2{X: 10, Y: 10}, densityOnly{})
+	if f.BeaconCount() != 0 {
+		t.Error("moment-less PDF was counted")
+	}
+}
+
+// densityOnly implements bayes.DistanceDensity without moments.
+type densityOnly struct{}
+
+func (densityOnly) Density(float64) float64 { return 1 }
+
+func TestAnchorCoincidence(t *testing.T) {
+	f := newFilter(t)
+	// Beacons at the exact current state must not produce NaNs.
+	center := geom.Square(200).Center()
+	for i := 0; i < 5; i++ {
+		f.ApplyBeacon(center, caltable.GaussianPDF{Mu: 1, Sigma: 1})
+	}
+	est := f.Estimate()
+	if math.IsNaN(est.X) || math.IsNaN(est.Y) {
+		t.Fatal("NaN estimate from coincident anchor")
+	}
+}
+
+func TestResetClearsBootstrap(t *testing.T) {
+	f := newFilter(t)
+	truth := geom.Vec2{X: 70, Y: 120}
+	for _, a := range []geom.Vec2{{X: 40, Y: 100}, {X: 100, Y: 140}, {X: 80, Y: 60}} {
+		f.ApplyBeacon(a, caltable.GaussianPDF{Mu: truth.Dist(a), Sigma: 2})
+	}
+	f.Reset()
+	if f.BeaconCount() != 0 || f.Ready() {
+		t.Error("Reset did not clear beacon state")
+	}
+	if got := f.Estimate(); got != geom.Square(200).Center() {
+		t.Errorf("post-reset estimate = %v", got)
+	}
+}
+
+func TestMinRangeStdFloor(t *testing.T) {
+	cfg := DefaultConfig(geom.Square(200))
+	cfg.MinRangeStdM = 5
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := geom.Vec2{X: 100, Y: 100}
+	anchors := []geom.Vec2{{X: 60, Y: 80}, {X: 140, Y: 90}, {X: 95, Y: 150}}
+	// Absurdly overconfident PDFs (sigma 0.01): the floor keeps the
+	// covariance from collapsing on the first round.
+	for round := 0; round < 2; round++ {
+		for _, a := range anchors {
+			f.ApplyBeacon(a, caltable.GaussianPDF{Mu: truth.Dist(a), Sigma: 0.01})
+		}
+	}
+	if f.Uncertainty() < 0.5 {
+		t.Errorf("covariance collapsed below the floor: %v", f.Uncertainty())
+	}
+}

@@ -1,0 +1,78 @@
+// Package eventlog serializes CoCoA run events to JSON Lines for offline
+// analysis: one JSON object per event, in virtual-time order. It plugs
+// into the Team's Observer hook.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cocoa/internal/cocoa"
+)
+
+// Writer streams events as JSONL. It buffers internally; call Flush (or
+// Close) when the run completes.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewWriter wraps w. The caller retains ownership of any underlying file.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Observer returns the function to register with Team.Observe.
+func (w *Writer) Observer() cocoa.Observer {
+	return func(e cocoa.Event) {
+		if w.err != nil {
+			return
+		}
+		if err := w.enc.Encode(e); err != nil {
+			w.err = err
+			return
+		}
+		w.n++
+	}
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer and reports any write error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Read parses a JSONL event stream back into events, for tooling and
+// tests.
+func Read(r io.Reader) ([]cocoa.Event, error) {
+	var events []cocoa.Event
+	dec := json.NewDecoder(r)
+	for {
+		var e cocoa.Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("eventlog: event %d: %w", len(events), err)
+		}
+		events = append(events, e)
+	}
+}
+
+// Stats aggregates an event stream into per-kind counts.
+func Stats(events []cocoa.Event) map[cocoa.EventKind]int {
+	out := make(map[cocoa.EventKind]int)
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}

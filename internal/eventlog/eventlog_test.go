@@ -1,0 +1,131 @@
+package eventlog
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"cocoa/internal/cocoa"
+)
+
+// observedRun executes a small deployment with an event log attached.
+func observedRun(t *testing.T) ([]cocoa.Event, *cocoa.Result) {
+	t.Helper()
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = 8
+	cfg.NumEquipped = 4
+	cfg.BeaconPeriodS = 30
+	cfg.DurationS = 120
+	cfg.GridCellM = 8
+	cfg.Calibration.Samples = 40000
+
+	team, err := cocoa.NewTeam(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	team.Observe(w.Observer())
+	res, err := team.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != w.Count() {
+		t.Fatalf("read %d events, wrote %d", len(events), w.Count())
+	}
+	return events, res
+}
+
+func TestEventStreamStructure(t *testing.T) {
+	events, res := observedRun(t)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	stats := Stats(events)
+
+	// Four windows in 120 s at T=30.
+	if got := stats[cocoa.EventWindowStart]; got != 4 {
+		t.Errorf("window-start count = %d, want 4", got)
+	}
+	if got := stats[cocoa.EventWindowEnd]; got != 4 {
+		t.Errorf("window-end count = %d, want 4", got)
+	}
+	// Beacons: at most 4 equipped x 3 beacons x 4 windows.
+	if got := stats[cocoa.EventBeaconSent]; got == 0 || got > 48 {
+		t.Errorf("beacon-sent count = %d, want in (0, 48]", got)
+	}
+	// Every fix event must agree with the result's counter.
+	if got := stats[cocoa.EventFix]; got != res.Fixes {
+		t.Errorf("fix events = %d, result says %d", got, res.Fixes)
+	}
+	if got := stats[cocoa.EventFixMissed]; got != res.MissedWindows {
+		t.Errorf("fix-missed events = %d, result says %d", got, res.MissedWindows)
+	}
+	if stats[cocoa.EventSleep] == 0 || stats[cocoa.EventWake] == 0 {
+		t.Error("no sleep/wake events under coordination")
+	}
+	if got := stats[cocoa.EventSyncRecv]; got != res.SyncsReceived {
+		t.Errorf("sync events = %d, result says %d", got, res.SyncsReceived)
+	}
+}
+
+func TestEventsTimeOrdered(t *testing.T) {
+	events, _ := observedRun(t)
+	times := make([]float64, len(events))
+	for i, e := range events {
+		times[i] = e.TimeS
+	}
+	if !sort.Float64sAreSorted(times) {
+		t.Error("events out of virtual-time order")
+	}
+}
+
+func TestFixEventsCarryMeasurements(t *testing.T) {
+	events, _ := observedRun(t)
+	found := false
+	for _, e := range events {
+		if e.Kind != cocoa.EventFix {
+			continue
+		}
+		found = true
+		if e.Beacons < 3 {
+			t.Errorf("fix with %d beacons violates the >=3 rule", e.Beacons)
+		}
+		if e.ErrM < 0 || e.ErrM > 300 {
+			t.Errorf("implausible fix error %v", e.ErrM)
+		}
+		if e.Robot < 4 || e.Robot > 7 {
+			t.Errorf("fix from equipped robot %d", e.Robot)
+		}
+	}
+	if !found {
+		t.Fatal("no fix events")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"timeS\": 1}\nnot json\n")); err == nil {
+		t.Error("accepted malformed JSONL")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	events, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("got %d events from empty stream", len(events))
+	}
+	if len(Stats(nil)) != 0 {
+		t.Error("Stats(nil) not empty")
+	}
+}

@@ -1,0 +1,142 @@
+// Package geom provides the 2D geometry primitives used throughout the
+// CoCoA simulation: vectors, rectangles (deployment areas), and angle
+// helpers. All coordinates are in meters and all angles in radians unless
+// stated otherwise.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a 2D point or displacement in meters.
+type Vec2 struct {
+	X float64
+	Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Len returns the Euclidean norm of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return math.Hypot(v.X-w.X, v.Y-w.Y) }
+
+// Dot returns the dot product of v and w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Heading returns the angle of v in radians in (-pi, pi], measured
+// counter-clockwise from the positive X axis. The zero vector has heading 0.
+func (v Vec2) Heading() float64 {
+	if v.X == 0 && v.Y == 0 {
+		return 0
+	}
+	return math.Atan2(v.Y, v.X)
+}
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec2) Unit() Vec2 {
+	l := v.Len()
+	if l == 0 {
+		return Vec2{}
+	}
+	return Vec2{v.X / l, v.Y / l}
+}
+
+// Rotate returns v rotated counter-clockwise by theta radians.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.2f, %.2f)", v.X, v.Y) }
+
+// FromPolar builds a vector with the given length and heading (radians).
+func FromPolar(length, heading float64) Vec2 {
+	s, c := math.Sincos(heading)
+	return Vec2{length * c, length * s}
+}
+
+// Rect is an axis-aligned rectangle [Min.X, Max.X] x [Min.Y, Max.Y]. It
+// represents the robot deployment area in the paper (40000 m^2 by default).
+type Rect struct {
+	Min Vec2
+	Max Vec2
+}
+
+// NewRect returns the rectangle spanning (x0,y0)-(x1,y1), normalizing the
+// corner order so that Min <= Max on both axes.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Vec2{x0, y0}, Max: Vec2{x1, y1}}
+}
+
+// Square returns a side x side rectangle anchored at the origin.
+func Square(side float64) Rect { return NewRect(0, 0, side, side) }
+
+// Width returns the extent along X.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the extent along Y.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle's area in square meters.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Vec2 {
+	return Vec2{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (boundaries inclusive).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Vec2) Vec2 {
+	return Vec2{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// Diagonal returns the length of the rectangle's diagonal, which bounds the
+// largest possible localization error inside the area.
+func (r Rect) Diagonal() float64 { return r.Min.Dist(r.Max) }
+
+// NormalizeAngle wraps theta into (-pi, pi].
+func NormalizeAngle(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	switch {
+	case theta > math.Pi:
+		theta -= 2 * math.Pi
+	case theta <= -math.Pi:
+		theta += 2 * math.Pi
+	}
+	return theta
+}
+
+// AngleDiff returns the signed smallest rotation from a to b in (-pi, pi].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(b - a) }
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }

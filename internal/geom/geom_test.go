@@ -1,0 +1,230 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec2
+		want Vec2
+	}{
+		{"add", Vec2{1, 2}.Add(Vec2{3, -4}), Vec2{4, -2}},
+		{"sub", Vec2{1, 2}.Sub(Vec2{3, -4}), Vec2{-2, 6}},
+		{"scale", Vec2{1, -2}.Scale(2.5), Vec2{2.5, -5}},
+		{"scale zero", Vec2{1, -2}.Scale(0), Vec2{0, 0}},
+		{"unit of zero", Vec2{}.Unit(), Vec2{}},
+		{"unit", Vec2{3, 4}.Unit(), Vec2{0.6, 0.8}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !almostEqual(tt.got.X, tt.want.X, eps) || !almostEqual(tt.got.Y, tt.want.Y, eps) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVecLenDist(t *testing.T) {
+	if got := (Vec2{3, 4}).Len(); !almostEqual(got, 5, eps) {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := (Vec2{1, 1}).Dist(Vec2{4, 5}); !almostEqual(got, 5, eps) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := (Vec2{2, 3}).Dot(Vec2{4, 5}); !almostEqual(got, 23, eps) {
+		t.Errorf("Dot = %v, want 23", got)
+	}
+}
+
+func TestHeading(t *testing.T) {
+	tests := []struct {
+		v    Vec2
+		want float64
+	}{
+		{Vec2{1, 0}, 0},
+		{Vec2{0, 1}, math.Pi / 2},
+		{Vec2{-1, 0}, math.Pi},
+		{Vec2{0, -1}, -math.Pi / 2},
+		{Vec2{}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Heading(); !almostEqual(got, tt.want, eps) {
+			t.Errorf("Heading(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	got := Vec2{1, 0}.Rotate(math.Pi / 2)
+	if !almostEqual(got.X, 0, eps) || !almostEqual(got.Y, 1, eps) {
+		t.Errorf("Rotate = %v, want (0,1)", got)
+	}
+}
+
+func TestFromPolar(t *testing.T) {
+	v := FromPolar(2, math.Pi/4)
+	want := math.Sqrt2
+	if !almostEqual(v.X, want, eps) || !almostEqual(v.Y, want, eps) {
+		t.Errorf("FromPolar = %v, want (%v,%v)", v, want, want)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(10, 20, 0, 0) // reversed corners must normalize
+	if r.Min != (Vec2{0, 0}) || r.Max != (Vec2{10, 20}) {
+		t.Fatalf("NewRect did not normalize: %+v", r)
+	}
+	if got := r.Width(); got != 10 {
+		t.Errorf("Width = %v", got)
+	}
+	if got := r.Height(); got != 20 {
+		t.Errorf("Height = %v", got)
+	}
+	if got := r.Area(); got != 200 {
+		t.Errorf("Area = %v", got)
+	}
+	if got := r.Center(); got != (Vec2{5, 10}) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := r.Diagonal(); !almostEqual(got, math.Hypot(10, 20), eps) {
+		t.Errorf("Diagonal = %v", got)
+	}
+}
+
+func TestSquareIsPaperArea(t *testing.T) {
+	// The paper's deployment area is 40000 m^2; a 200 m square.
+	r := Square(200)
+	if got := r.Area(); got != 40000 {
+		t.Errorf("Area = %v, want 40000", got)
+	}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := Square(100)
+	tests := []struct {
+		p        Vec2
+		contains bool
+		clamped  Vec2
+	}{
+		{Vec2{50, 50}, true, Vec2{50, 50}},
+		{Vec2{0, 0}, true, Vec2{0, 0}},
+		{Vec2{100, 100}, true, Vec2{100, 100}},
+		{Vec2{-5, 50}, false, Vec2{0, 50}},
+		{Vec2{105, -3}, false, Vec2{100, 0}},
+		{Vec2{50, 200}, false, Vec2{50, 100}},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.contains {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.contains)
+		}
+		if got := r.Clamp(tt.p); got != tt.clamped {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.p, got, tt.clamped)
+		}
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.in); !almostEqual(got, tt.want, eps) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !almostEqual(got, -0.2, eps) {
+		t.Errorf("AngleDiff = %v, want -0.2", got)
+	}
+	// Crossing the wrap point picks the short way round.
+	if got := AngleDiff(math.Pi-0.1, -math.Pi+0.1); !almostEqual(got, 0.2, eps) {
+		t.Errorf("AngleDiff across wrap = %v, want 0.2", got)
+	}
+}
+
+func TestDegreesRadians(t *testing.T) {
+	if got := Degrees(math.Pi); !almostEqual(got, 180, eps) {
+		t.Errorf("Degrees = %v", got)
+	}
+	if got := Radians(90); !almostEqual(got, math.Pi/2, eps) {
+		t.Errorf("Radians = %v", got)
+	}
+}
+
+// Property: Clamp always lands inside the rectangle.
+func TestClampAlwaysInside(t *testing.T) {
+	r := Square(200)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		return r.Contains(r.Clamp(Vec2{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rotation preserves vector length.
+func TestRotatePreservesLength(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		// Limit magnitude to keep floating-point error proportional.
+		v := Vec2{math.Mod(x, 1e6), math.Mod(y, 1e6)}
+		th := math.Mod(theta, 2*math.Pi)
+		return almostEqual(v.Rotate(th).Len(), v.Len(), 1e-6*(1+v.Len()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeAngle output is always in (-pi, pi].
+func TestNormalizeAngleRange(t *testing.T) {
+	f := func(theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		got := NormalizeAngle(math.Mod(theta, 1e9))
+		return got > -math.Pi-eps && got <= math.Pi+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromPolar(l, h) has length |l| and, for positive l, heading h.
+func TestFromPolarRoundTrip(t *testing.T) {
+	f := func(l, h float64) bool {
+		if math.IsNaN(l) || math.IsNaN(h) || math.IsInf(l, 0) || math.IsInf(h, 0) {
+			return true
+		}
+		length := 1 + math.Abs(math.Mod(l, 1e3))
+		heading := NormalizeAngle(math.Mod(h, 2*math.Pi))
+		v := FromPolar(length, heading)
+		return almostEqual(v.Len(), length, 1e-9*length) &&
+			math.Abs(AngleDiff(v.Heading(), heading)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package georouting
+
+import (
+	"testing"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	rng := sim.NewRNG(42).Stream("bench")
+	pts := make([]geom.Vec2, 50)
+	for i := range pts {
+		pts[i] = geom.Vec2{X: rng.Uniform(0, 200), Y: rng.Uniform(0, 200)}
+	}
+	g, err := NewGraph(pts, pts, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.Greedy(i%g.N(), (i*7+3)%g.N())
+	}
+}
+
+func BenchmarkGFG(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.GFG(i%g.N(), (i*7+3)%g.N())
+	}
+}

@@ -1,0 +1,291 @@
+// Package georouting implements geographic routing over robot positions —
+// the application the paper's conclusion motivates: "CoCoA coordinates are
+// good enough to enable scalable geographic routing of messages and data
+// among the robots or to a controller", citing Bose et al.'s
+// greedy-face-greedy (GFG) algorithm [23].
+//
+// Two strategies are provided:
+//
+//   - Greedy: forward to the neighbor geographically closest to the
+//     destination; fails at local minima (voids).
+//   - GFG: greedy with face-routing recovery on the Gabriel-graph
+//     planarization, which guarantees delivery on connected unit-disk
+//     graphs when positions are exact. With CoCoA's *estimated* positions
+//     the guarantee softens — quantifying that gap is exactly the
+//     experiment the paper proposes.
+//
+// The router deliberately separates the two position sets involved: the
+// true positions define connectivity (radio reality), while the believed
+// positions drive forwarding decisions (what the robots actually know).
+package georouting
+
+import (
+	"fmt"
+	"math"
+
+	"cocoa/internal/geom"
+)
+
+// Graph is a connectivity + belief snapshot of the robot network.
+type Graph struct {
+	truth  []geom.Vec2
+	belief []geom.Vec2
+	rangeM float64
+
+	neighbors [][]int // unit-disk adjacency from true positions
+	gabriel   [][]int // Gabriel-graph subset, computed on beliefs
+}
+
+// NewGraph builds a routing snapshot. truth defines real connectivity
+// (radio range rangeM); belief is what each robot thinks its position is —
+// pass truth twice to model perfect localization.
+func NewGraph(truth, belief []geom.Vec2, rangeM float64) (*Graph, error) {
+	if len(truth) != len(belief) {
+		return nil, fmt.Errorf("georouting: %d true positions vs %d beliefs",
+			len(truth), len(belief))
+	}
+	if rangeM <= 0 {
+		return nil, fmt.Errorf("georouting: non-positive range %v", rangeM)
+	}
+	g := &Graph{
+		truth:  append([]geom.Vec2(nil), truth...),
+		belief: append([]geom.Vec2(nil), belief...),
+		rangeM: rangeM,
+	}
+	g.buildAdjacency()
+	g.buildGabriel()
+	return g, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.truth) }
+
+// Neighbors returns node i's true radio neighbors.
+func (g *Graph) Neighbors(i int) []int {
+	return append([]int(nil), g.neighbors[i]...)
+}
+
+// Belief returns node i's believed position.
+func (g *Graph) Belief(i int) geom.Vec2 { return g.belief[i] }
+
+func (g *Graph) buildAdjacency() {
+	n := len(g.truth)
+	g.neighbors = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.truth[i].Dist(g.truth[j]) <= g.rangeM {
+				g.neighbors[i] = append(g.neighbors[i], j)
+				g.neighbors[j] = append(g.neighbors[j], i)
+			}
+		}
+	}
+}
+
+// buildGabriel keeps edge (u,v) only if no common radio neighbor w lies
+// strictly inside the circle with diameter (u,v) — computed on believed
+// positions, because that is all the robots know.
+func (g *Graph) buildGabriel() {
+	n := len(g.truth)
+	g.gabriel = make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.neighbors[u] {
+			if g.keepGabriel(u, v) {
+				g.gabriel[u] = append(g.gabriel[u], v)
+			}
+		}
+	}
+}
+
+func (g *Graph) keepGabriel(u, v int) bool {
+	mid := g.belief[u].Add(g.belief[v]).Scale(0.5)
+	r2 := g.belief[u].Dist(g.belief[v]) / 2
+	for _, w := range g.neighbors[u] {
+		if w == v {
+			continue
+		}
+		if g.belief[w].Dist(mid) < r2-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Outcome describes one routing attempt.
+type Outcome struct {
+	Delivered bool
+	Hops      int
+	Path      []int
+	// Recovered counts hops spent in face-routing recovery (GFG only).
+	Recovered int
+}
+
+// Greedy routes from src to dst using pure greedy forwarding on believed
+// positions over the true connectivity graph.
+func (g *Graph) Greedy(src, dst int) (Outcome, error) {
+	if err := g.check(src, dst); err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Path: []int{src}}
+	cur := src
+	target := g.belief[dst]
+	for out.Hops = 0; out.Hops <= g.N(); out.Hops++ {
+		if cur == dst {
+			out.Delivered = true
+			return out, nil
+		}
+		next, ok := g.greedyStep(cur, dst, target)
+		if !ok {
+			return out, nil // local minimum
+		}
+		cur = next
+		out.Path = append(out.Path, cur)
+	}
+	return out, nil
+}
+
+// greedyStep picks the neighbor strictly closer (in belief space) to the
+// target than the current node. The destination itself always wins.
+func (g *Graph) greedyStep(cur, dst int, target geom.Vec2) (int, bool) {
+	bestD := g.belief[cur].Dist(target)
+	best := -1
+	for _, nb := range g.neighbors[cur] {
+		if nb == dst {
+			return dst, true
+		}
+		if d := g.belief[nb].Dist(target); d < bestD {
+			bestD, best = d, nb
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}
+
+// GFG routes with greedy forwarding plus face-routing recovery (Bose et
+// al. [23]): on a local minimum, the packet walks the Gabriel-planarized
+// graph with the right-hand rule until it reaches a node closer to the
+// destination than the minimum, then resumes greedy.
+func (g *Graph) GFG(src, dst int) (Outcome, error) {
+	if err := g.check(src, dst); err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Path: []int{src}}
+	cur := src
+	target := g.belief[dst]
+	maxHops := 4*g.N() + 16 // face walks revisit nodes; bound generously
+
+	recovering := false
+	var minDist float64 // belief distance at the local minimum
+	prev := -1          // previous node during a face walk
+
+	for out.Hops = 0; out.Hops <= maxHops; out.Hops++ {
+		if cur == dst {
+			out.Delivered = true
+			return out, nil
+		}
+		if !recovering {
+			next, ok := g.greedyStep(cur, dst, target)
+			if ok {
+				cur = next
+				out.Path = append(out.Path, cur)
+				continue
+			}
+			// Enter recovery.
+			recovering = true
+			minDist = g.belief[cur].Dist(target)
+			prev = -1
+		}
+		// Face walk step.
+		next, ok := g.faceStep(cur, prev, target)
+		if !ok {
+			return out, nil // isolated on the planar graph
+		}
+		prev, cur = cur, next
+		out.Path = append(out.Path, cur)
+		out.Recovered++
+		if g.belief[cur].Dist(target) < minDist {
+			recovering = false // progress made; resume greedy
+		}
+	}
+	return out, nil
+}
+
+// faceStep advances one hop along the current face using the right-hand
+// rule on the Gabriel graph: take the neighbor that is the first
+// counter-clockwise from the edge we arrived on.
+func (g *Graph) faceStep(cur, prev int, target geom.Vec2) (int, bool) {
+	nbrs := g.gabriel[cur]
+	if len(nbrs) == 0 {
+		return 0, false
+	}
+	// Reference direction: back along the arrival edge, or toward the
+	// destination when entering recovery.
+	var refAngle float64
+	if prev >= 0 {
+		refAngle = g.belief[prev].Sub(g.belief[cur]).Heading()
+	} else {
+		refAngle = target.Sub(g.belief[cur]).Heading()
+	}
+	best := -1
+	bestDelta := math.Inf(1)
+	for _, nb := range nbrs {
+		if nb == prev && len(nbrs) > 1 {
+			continue // only bounce back when there is no other option
+		}
+		a := g.belief[nb].Sub(g.belief[cur]).Heading()
+		delta := math.Mod(a-refAngle+4*math.Pi, 2*math.Pi)
+		if delta == 0 {
+			delta = 2 * math.Pi
+		}
+		if delta < bestDelta {
+			bestDelta, best = delta, nb
+		}
+	}
+	if best == -1 {
+		best = prev // dead end: bounce
+	}
+	return best, true
+}
+
+func (g *Graph) check(src, dst int) error {
+	if src < 0 || src >= g.N() || dst < 0 || dst >= g.N() {
+		return fmt.Errorf("georouting: node out of range (src=%d dst=%d n=%d)",
+			src, dst, g.N())
+	}
+	return nil
+}
+
+// Stats aggregates outcomes over many routing attempts.
+type Stats struct {
+	Attempts   int
+	Delivered  int
+	TotalHops  int
+	Recoveries int
+}
+
+// DeliveryRate returns the fraction of delivered packets.
+func (s Stats) DeliveryRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Attempts)
+}
+
+// MeanHops returns the average hop count over delivered packets.
+func (s Stats) MeanHops() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Delivered)
+}
+
+// Record folds one outcome into the stats.
+func (s *Stats) Record(o Outcome) {
+	s.Attempts++
+	if o.Delivered {
+		s.Delivered++
+		s.TotalHops += o.Hops
+	}
+	s.Recoveries += o.Recovered
+}

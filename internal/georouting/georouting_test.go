@@ -1,0 +1,301 @@
+package georouting
+
+import (
+	"testing"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+// perfect builds a graph where beliefs equal truth.
+func perfect(t *testing.T, pts []geom.Vec2, rangeM float64) *Graph {
+	t.Helper()
+	g, err := NewGraph(pts, pts, rangeM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 1}}
+	if _, err := NewGraph(pts, pts[:1], 10); err == nil {
+		t.Error("accepted mismatched slices")
+	}
+	if _, err := NewGraph(pts, pts, 0); err == nil {
+		t.Error("accepted zero range")
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 5}, {X: 11}, {X: 30}}
+	g := perfect(t, pts, 10)
+	// 0-1 (5m), 1-2 (6m) connected; 2-3 (19m) not.
+	want := map[int][]int{0: {1}, 1: {0, 2}, 2: {1}, 3: nil}
+	for i, w := range want {
+		got := g.Neighbors(i)
+		if len(got) != len(w) {
+			t.Errorf("Neighbors(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestNeighborsReturnsCopy(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 5}}
+	g := perfect(t, pts, 10)
+	n := g.Neighbors(0)
+	if len(n) != 1 {
+		t.Fatal("setup")
+	}
+	n[0] = 99
+	if g.Neighbors(0)[0] == 99 {
+		t.Error("Neighbors leaks internal slice")
+	}
+}
+
+func TestGreedyLine(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 8}, {X: 16}, {X: 24}}
+	g := perfect(t, pts, 10)
+	out, err := g.Greedy(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered || out.Hops != 3 {
+		t.Fatalf("greedy line: %+v", out)
+	}
+	wantPath := []int{0, 1, 2, 3}
+	for i, p := range wantPath {
+		if out.Path[i] != p {
+			t.Fatalf("path = %v, want %v", out.Path, wantPath)
+		}
+	}
+}
+
+func TestGreedySelfDelivery(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 5}}
+	g := perfect(t, pts, 10)
+	out, err := g.Greedy(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered || out.Hops != 0 {
+		t.Errorf("self delivery: %+v", out)
+	}
+}
+
+func TestGreedyOutOfRangeNodes(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 5}}
+	g := perfect(t, pts, 10)
+	if _, err := g.Greedy(-1, 1); err == nil {
+		t.Error("accepted negative src")
+	}
+	if _, err := g.Greedy(0, 5); err == nil {
+		t.Error("accepted dst out of range")
+	}
+}
+
+// A classic void with radio range 24 m: node 1 is a cul-de-sac that greedy
+// enters (it is closest to the destination among 0's neighbors) and cannot
+// leave; the only route to the destination 2 goes over the northern ridge
+// 3-4-5-6.
+//
+//	3(0,20) - 4(20,30) - 5(40,30) - 6(54,22)
+//	   |                               |
+//	0(0,0) --- 1(18,0)    void      2(54,0)
+//
+// Edge check at range 24: 0-1 (18), 0-3 (20), 3-4 (22.4), 4-5 (20),
+// 5-6 (16.1), 6-2 (22); node 1 reaches only node 0 (all others > 24 m).
+func voidTopology() []geom.Vec2 {
+	return []geom.Vec2{
+		{X: 0, Y: 0},   // 0: source
+		{X: 18, Y: 0},  // 1: the dead end
+		{X: 54, Y: 0},  // 2: destination
+		{X: 0, Y: 20},  // 3
+		{X: 20, Y: 30}, // 4
+		{X: 40, Y: 30}, // 5
+		{X: 54, Y: 22}, // 6
+	}
+}
+
+func TestVoidTopologyIsAVoid(t *testing.T) {
+	g := perfect(t, voidTopology(), 24)
+	if got := g.Neighbors(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("node 1 neighbors = %v, want [0] only", got)
+	}
+	if !connected(g) {
+		t.Fatal("void topology must still be connected")
+	}
+}
+
+func TestGreedyStuckAtVoid(t *testing.T) {
+	g := perfect(t, voidTopology(), 24)
+	out, err := g.Greedy(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered {
+		t.Fatalf("greedy crossed the void: %+v", out)
+	}
+	if last := out.Path[len(out.Path)-1]; last != 1 {
+		t.Errorf("greedy stuck at %d, want the cul-de-sac 1", last)
+	}
+}
+
+func TestGFGRecoversAroundVoid(t *testing.T) {
+	g := perfect(t, voidTopology(), 24)
+	out, err := g.GFG(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered {
+		t.Fatalf("GFG failed to cross the void: %+v", out)
+	}
+	if out.Recovered == 0 {
+		t.Error("GFG delivered without entering recovery; the topology should force it")
+	}
+}
+
+func TestGFGOnLineMatchesGreedy(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 8}, {X: 16}, {X: 24}}
+	g := perfect(t, pts, 10)
+	out, err := g.GFG(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Delivered || out.Hops != 3 || out.Recovered != 0 {
+		t.Errorf("GFG on line: %+v", out)
+	}
+}
+
+func TestDisconnectedUndeliverable(t *testing.T) {
+	pts := []geom.Vec2{{X: 0}, {X: 5}, {X: 1000}}
+	g := perfect(t, pts, 10)
+	out, err := g.GFG(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered {
+		t.Error("delivered across a partition")
+	}
+}
+
+// On random connected networks with perfect positions, GFG must deliver
+// (Bose et al.'s guarantee on unit-disk graphs); greedy may not.
+func TestGFGDeliveryOnRandomNetworks(t *testing.T) {
+	rng := sim.NewRNG(42).Stream("geo")
+	const nodes = 40
+	const rangeM = 45.0
+	for trial := 0; trial < 10; trial++ {
+		pts := make([]geom.Vec2, nodes)
+		for i := range pts {
+			pts[i] = geom.Vec2{X: rng.Uniform(0, 200), Y: rng.Uniform(0, 200)}
+		}
+		g := perfect(t, pts, rangeM)
+		if !connected(g) {
+			continue
+		}
+		var gfg, greedy Stats
+		for s := 0; s < nodes; s += 7 {
+			for d := 3; d < nodes; d += 11 {
+				if s == d {
+					continue
+				}
+				o1, err := g.GFG(s, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gfg.Record(o1)
+				o2, err := g.Greedy(s, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				greedy.Record(o2)
+			}
+		}
+		if gfg.DeliveryRate() < 1.0 {
+			t.Errorf("trial %d: GFG delivery %.2f < 1.0 on connected graph",
+				trial, gfg.DeliveryRate())
+		}
+		if gfg.DeliveryRate() < greedy.DeliveryRate() {
+			t.Errorf("trial %d: GFG (%v) worse than greedy (%v)",
+				trial, gfg.DeliveryRate(), greedy.DeliveryRate())
+		}
+	}
+}
+
+// connected checks graph connectivity by BFS over true adjacency.
+func connected(g *Graph) bool {
+	n := g.N()
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// Position error degrades routing gracefully: with mild noise the delivery
+// rate stays high.
+func TestRoutingWithNoisyBeliefs(t *testing.T) {
+	rng := sim.NewRNG(7).Stream("noise")
+	const nodes = 40
+	const rangeM = 60.0
+	truth := make([]geom.Vec2, nodes)
+	belief := make([]geom.Vec2, nodes)
+	for i := range truth {
+		truth[i] = geom.Vec2{X: rng.Uniform(0, 200), Y: rng.Uniform(0, 200)}
+		// ~6 m CoCoA-scale error.
+		belief[i] = truth[i].Add(geom.Vec2{X: rng.Normal(0, 5), Y: rng.Normal(0, 5)})
+	}
+	g, err := NewGraph(truth, belief, rangeM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !connected(g) {
+		t.Skip("random graph disconnected for this seed")
+	}
+	var st Stats
+	for s := 0; s < nodes; s += 3 {
+		for d := 1; d < nodes; d += 5 {
+			if s == d {
+				continue
+			}
+			o, err := g.GFG(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Record(o)
+		}
+	}
+	if st.DeliveryRate() < 0.85 {
+		t.Errorf("GFG with 5 m noise delivered only %.0f%%", 100*st.DeliveryRate())
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	if s.DeliveryRate() != 0 || s.MeanHops() != 0 {
+		t.Error("empty stats not zero")
+	}
+	s.Record(Outcome{Delivered: true, Hops: 4})
+	s.Record(Outcome{Delivered: false, Recovered: 2})
+	if s.DeliveryRate() != 0.5 {
+		t.Errorf("DeliveryRate = %v", s.DeliveryRate())
+	}
+	if s.MeanHops() != 4 {
+		t.Errorf("MeanHops = %v", s.MeanHops())
+	}
+	if s.Recoveries != 2 {
+		t.Errorf("Recoveries = %v", s.Recoveries)
+	}
+}

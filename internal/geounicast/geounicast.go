@@ -1,0 +1,358 @@
+// Package geounicast implements in-network unicast over the broadcast MAC
+// using greedy geographic forwarding — the data path the paper's
+// conclusion motivates: with CoCoA coordinates, "scalable geographic
+// routing of messages and data among the robots or to a controller"
+// becomes possible without any routing tables.
+//
+// Each robot runs an Agent that
+//
+//   - learns its neighborhood from periodic HELLO broadcasts carrying the
+//     sender's *believed* position (plus any overheard unicast traffic);
+//   - forwards unicast packets to the fresh neighbor whose believed
+//     position is closest to the destination coordinates, requiring
+//     strict progress (greedy mode; packets are dropped at voids — the
+//     offline GFG recovery of internal/georouting shows what face routing
+//     would add).
+//
+// Because the MAC is broadcast-only (as 802.11 fundamentally is), unicast
+// frames carry an explicit next-hop ID and every other receiver discards
+// them.
+package geounicast
+
+import (
+	"fmt"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/mac"
+	"cocoa/internal/network"
+	"cocoa/internal/sim"
+)
+
+// Packet is one unicast message in flight.
+type Packet struct {
+	Src     int
+	Seq     int // per-source sequence number; (Src, Seq) identifies the packet
+	Dst     int
+	DstPos  geom.Vec2 // destination's (believed) coordinates
+	FromHop int       // the hop that transmitted this copy (ACK target)
+	NextHop int
+	Hops    int
+	TTL     int
+	Payload any
+}
+
+// ack acknowledges one hop of one packet.
+type ack struct {
+	Src int // packet origin
+	Seq int
+	To  int // the hop being acknowledged
+}
+
+// pkey identifies a packet end to end.
+type pkey struct {
+	src, seq int
+}
+
+// Sizes in bytes on the air.
+const (
+	helloBytes  = network.IPHeaderBytes + network.UDPHeaderBytes + network.CoordBytes
+	headerBytes = network.IPHeaderBytes + network.UDPHeaderBytes + 2*network.CoordBytes + 16
+	ackBytes    = network.IPHeaderBytes + network.UDPHeaderBytes + 12
+)
+
+// Config parameterizes an agent.
+type Config struct {
+	// NeighborTTLS is how long a neighbor entry stays fresh without
+	// being re-heard. Stale entries are not used for forwarding.
+	NeighborTTLS sim.Time
+	// DefaultTTL bounds a packet's hop count.
+	DefaultTTL int
+	// PayloadBytes is the application payload size added to the header.
+	PayloadBytes int
+	// ForwardJitterMaxS decorrelates per-hop transmissions.
+	ForwardJitterMaxS sim.Time
+	// AckTimeoutS is the per-hop stop-and-wait retransmission timeout.
+	AckTimeoutS sim.Time
+	// MaxRetries bounds per-hop retransmissions; 0 disables the ARQ
+	// entirely (fire-and-forget forwarding).
+	MaxRetries int
+}
+
+// DefaultConfig suits the paper's deployment scale.
+func DefaultConfig() Config {
+	return Config{
+		NeighborTTLS:      150,
+		DefaultTTL:        16,
+		PayloadBytes:      32,
+		ForwardJitterMaxS: 0.02,
+		AckTimeoutS:       0.05,
+		MaxRetries:        2,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.NeighborTTLS <= 0:
+		return fmt.Errorf("geounicast: NeighborTTLS must be positive")
+	case c.DefaultTTL <= 0:
+		return fmt.Errorf("geounicast: DefaultTTL must be positive")
+	case c.PayloadBytes < 0:
+		return fmt.Errorf("geounicast: negative payload")
+	case c.ForwardJitterMaxS < 0:
+		return fmt.Errorf("geounicast: negative jitter")
+	case c.AckTimeoutS < 0 || c.MaxRetries < 0:
+		return fmt.Errorf("geounicast: negative ARQ parameter")
+	case c.MaxRetries > 0 && c.AckTimeoutS == 0:
+		return fmt.Errorf("geounicast: retries need a positive AckTimeoutS")
+	}
+	return nil
+}
+
+// Stats counts agent outcomes.
+type Stats struct {
+	Sent        int // packets originated here
+	Delivered   int // packets delivered here (we were Dst)
+	Forwarded   int // packets relayed
+	NoRoute     int // drops: no fresh neighbor with progress
+	TTLExpired  int // drops: hop budget exhausted
+	HellosSent  int
+	Retransmits int // ARQ retransmissions after ACK timeouts
+	AcksSent    int
+	DropsNoAck  int // drops: retries exhausted without an ACK
+	Duplicates  int // retransmitted copies already processed
+}
+
+// hello is the neighbor-discovery payload.
+type hello struct {
+	Sender int
+	Pos    geom.Vec2
+}
+
+// neighborEntry is one row of the neighbor table.
+type neighborEntry struct {
+	pos   geom.Vec2
+	heard sim.Time
+}
+
+// DeliverFunc consumes packets that reached their destination.
+type DeliverFunc func(p Packet)
+
+// Agent is one robot's geographic-unicast endpoint.
+type Agent struct {
+	id  int
+	sim *sim.Simulator
+	nic *network.NIC
+	cfg Config
+	rng *sim.RNG
+
+	// selfPos returns the robot's believed position — CoCoA's estimate,
+	// not ground truth; routing quality inherits localization quality.
+	selfPos func() geom.Vec2
+
+	neighbors map[int]neighborEntry
+	onDeliver DeliverFunc
+	stats     Stats
+
+	seq     int                 // origin sequence counter
+	pending map[pkey]*sim.Event // ARQ timers for un-ACKed transmissions
+	seen    map[pkey]bool       // packets already processed here (dedup)
+}
+
+// New attaches an agent to the NIC. selfPos must return the robot's
+// believed position.
+func New(s *sim.Simulator, nic *network.NIC, cfg Config, rng *sim.RNG,
+	selfPos func() geom.Vec2) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		id:        nic.ID(),
+		sim:       s,
+		nic:       nic,
+		cfg:       cfg,
+		rng:       rng,
+		selfPos:   selfPos,
+		neighbors: make(map[int]neighborEntry),
+		pending:   make(map[pkey]*sim.Event),
+		seen:      make(map[pkey]bool),
+	}
+	nic.Handle(network.KindHello, a.onHello)
+	nic.Handle(network.KindUnicast, a.onUnicast)
+	nic.Handle(network.KindAck, a.onAck)
+	return a, nil
+}
+
+// OnDeliver registers the application's delivery callback.
+func (a *Agent) OnDeliver(fn DeliverFunc) { a.onDeliver = fn }
+
+// Stats returns a copy of the agent's counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// NeighborCount returns the number of fresh neighbor entries.
+func (a *Agent) NeighborCount() int {
+	n := 0
+	now := a.sim.Now()
+	for _, e := range a.neighbors {
+		if now-e.heard <= a.cfg.NeighborTTLS {
+			n++
+		}
+	}
+	return n
+}
+
+// SendHello broadcasts the robot's believed position. CoCoA calls this
+// during transmit windows, when the team is awake.
+func (a *Agent) SendHello() error {
+	h := hello{Sender: a.id, Pos: a.selfPos()}
+	if err := a.nic.Send(network.KindHello, helloBytes, h); err != nil {
+		return err
+	}
+	a.stats.HellosSent++
+	return nil
+}
+
+// Send originates a packet toward dst, believed to be at dstPos.
+func (a *Agent) Send(dst int, dstPos geom.Vec2, payload any) {
+	a.stats.Sent++
+	a.seq++
+	p := Packet{
+		Src:     a.id,
+		Seq:     a.seq,
+		Dst:     dst,
+		DstPos:  dstPos,
+		TTL:     a.cfg.DefaultTTL,
+		Payload: payload,
+	}
+	a.forward(p, 0)
+}
+
+// onHello refreshes the neighbor table.
+func (a *Agent) onHello(f mac.Frame, _ float64) {
+	h, ok := f.Payload.(hello)
+	if !ok {
+		return
+	}
+	a.neighbors[h.Sender] = neighborEntry{pos: h.Pos, heard: a.sim.Now()}
+}
+
+// onUnicast handles a frame addressed (at this hop) to anyone: only the
+// named next hop processes it. Each accepted copy is acknowledged back to
+// the transmitting hop; retransmitted duplicates are re-ACKed (the first
+// ACK may have been lost) but not re-processed.
+func (a *Agent) onUnicast(f mac.Frame, _ float64) {
+	p, ok := f.Payload.(Packet)
+	if !ok || p.NextHop != a.id {
+		return
+	}
+	if a.cfg.MaxRetries > 0 {
+		a.sendAck(p)
+	}
+	key := pkey{p.Src, p.Seq}
+	if a.seen[key] {
+		a.stats.Duplicates++
+		return
+	}
+	a.seen[key] = true
+
+	if p.Dst == a.id {
+		a.stats.Delivered++
+		if a.onDeliver != nil {
+			a.onDeliver(p)
+		}
+		return
+	}
+	if p.TTL <= 0 {
+		a.stats.TTLExpired++
+		return
+	}
+	a.stats.Forwarded++
+	a.forward(p, 0)
+}
+
+// sendAck acknowledges one received hop.
+func (a *Agent) sendAck(p Packet) {
+	if err := a.nic.Send(network.KindAck, ackBytes, ack{Src: p.Src, Seq: p.Seq, To: p.FromHop}); err == nil {
+		a.stats.AcksSent++
+	}
+}
+
+// onAck cancels the pending retransmission timer for the acknowledged
+// packet.
+func (a *Agent) onAck(f mac.Frame, _ float64) {
+	k, ok := f.Payload.(ack)
+	if !ok || k.To != a.id {
+		return
+	}
+	key := pkey{k.Src, k.Seq}
+	if e, pending := a.pending[key]; pending {
+		a.sim.Cancel(e)
+		delete(a.pending, key)
+	}
+}
+
+// forward picks the next hop and transmits, with per-hop jitter to avoid
+// synchronized relays. attempt counts ARQ retransmissions of this hop.
+func (a *Agent) forward(p Packet, attempt int) {
+	next, ok := a.nextHop(p.Dst, p.DstPos)
+	if !ok {
+		a.stats.NoRoute++
+		return
+	}
+	p.FromHop = a.id
+	p.NextHop = next
+	if attempt == 0 {
+		p.Hops++
+		p.TTL--
+	} else {
+		a.stats.Retransmits++
+	}
+	delay := a.rng.Uniform(0, float64(a.cfg.ForwardJitterMaxS))
+	a.sim.Schedule(delay, func() {
+		_ = a.nic.Send(network.KindUnicast, headerBytes+a.cfg.PayloadBytes, p)
+	})
+	if a.cfg.MaxRetries == 0 {
+		return
+	}
+	// Arm (or re-arm) the stop-and-wait timer. On expiry the whole
+	// forwarding decision reruns, so a fresher neighbor may be picked.
+	key := pkey{p.Src, p.Seq}
+	if e, pending := a.pending[key]; pending {
+		a.sim.Cancel(e)
+	}
+	a.pending[key] = a.sim.Schedule(delay+float64(a.cfg.AckTimeoutS), func() {
+		delete(a.pending, key)
+		if attempt >= a.cfg.MaxRetries {
+			a.stats.DropsNoAck++
+			return
+		}
+		retry := p
+		a.forward(retry, attempt+1)
+	})
+}
+
+// nextHop implements strict greedy selection over fresh neighbors: the
+// destination itself wins outright; otherwise the neighbor closest to the
+// destination, provided it makes strict progress over our own position.
+func (a *Agent) nextHop(dst int, dstPos geom.Vec2) (int, bool) {
+	now := a.sim.Now()
+	bestID := -1
+	bestD := a.selfPos().Dist(dstPos)
+	for id, e := range a.neighbors {
+		if now-e.heard > a.cfg.NeighborTTLS {
+			continue
+		}
+		if id == dst {
+			return id, true
+		}
+		// Ties break toward the lowest ID so runs stay deterministic
+		// despite map iteration order.
+		if d := e.pos.Dist(dstPos); d < bestD || (d == bestD && bestID != -1 && id < bestID) {
+			bestD, bestID = d, id
+		}
+	}
+	if bestID == -1 {
+		return 0, false
+	}
+	return bestID, true
+}

@@ -1,0 +1,41 @@
+package mac
+
+import (
+	"testing"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/radio"
+	"cocoa/internal/sim"
+)
+
+// BenchmarkBroadcast measures one full broadcast round over a 50-station
+// medium, including per-receiver RSSI sampling and delivery scheduling.
+func BenchmarkBroadcast(b *testing.B) {
+	s := sim.New()
+	med, err := NewMedium(s, DefaultConfig(radio.DefaultModel()), sim.NewRNG(1).Stream("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(2).Stream("pos")
+	for i := 0; i < 50; i++ {
+		pos := geom.Vec2{X: rng.Uniform(0, 200), Y: rng.Uniform(0, 200)}
+		med.Attach(i, &benchEndpoint{pos: pos})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := med.Send(i%50, Frame{Bytes: 56}); err != nil {
+			b.Fatal(err)
+		}
+		s.Run()
+	}
+}
+
+type benchEndpoint struct{ pos geom.Vec2 }
+
+func (e *benchEndpoint) Position() geom.Vec2    { return e.pos }
+func (e *benchEndpoint) Listening() bool        { return true }
+func (e *benchEndpoint) BeginTx()               {}
+func (e *benchEndpoint) EndTx()                 {}
+func (e *benchEndpoint) BeginRx()               {}
+func (e *benchEndpoint) EndRx()                 {}
+func (e *benchEndpoint) Deliver(Frame, float64) {}

@@ -1,0 +1,337 @@
+// Package mac implements a simplified IEEE 802.11-style broadcast MAC over
+// the radio model: carrier sensing with binary-exponential backoff,
+// per-receiver RSSI sampling, receiver-side collision resolution with
+// physical-layer capture, and sleep-awareness (frames transmitted while a
+// receiver sleeps are lost, which is exactly the behaviour CoCoA's
+// coordination must work around).
+//
+// Broadcast frames are unacknowledged, as in real 802.11: the paper's
+// beacons are UDP broadcasts and rely on k-fold repetition for reliability.
+package mac
+
+import (
+	"fmt"
+	"sort"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/radio"
+	"cocoa/internal/sim"
+)
+
+// Frame is a broadcast MAC frame. Payload is opaque to the MAC.
+type Frame struct {
+	From    int // sender node ID
+	Kind    int // application-defined frame type
+	Bytes   int // payload size including IP/UDP headers
+	Payload any
+}
+
+// Endpoint is the per-node attachment point the network layer implements.
+// The MAC drives radio-state energy accounting through Begin/End callbacks.
+type Endpoint interface {
+	// Position returns the node's current true position.
+	Position() geom.Vec2
+	// Listening reports whether the radio can currently receive
+	// (awake, powered, not transmitting).
+	Listening() bool
+	// BeginTx and EndTx bracket a transmission for energy accounting.
+	BeginTx()
+	EndTx()
+	// BeginRx and EndRx bracket an incoming frame for energy accounting.
+	BeginRx()
+	EndRx()
+	// Deliver hands a successfully decoded frame and its RSSI up the stack.
+	Deliver(f Frame, rssiDBm float64)
+}
+
+// Config holds MAC-layer parameters.
+type Config struct {
+	Model radio.Model
+	// SlotS is the contention slot time in seconds (802.11b: 20 us).
+	SlotS sim.Time
+	// MinCW and MaxCW bound the contention window (slots).
+	MinCW int
+	MaxCW int
+	// MaxAttempts bounds carrier-sense retries before the frame is dropped.
+	MaxAttempts int
+	// OverheadBytes is the MAC header + FCS added to every frame.
+	OverheadBytes int
+	// PreambleS is the fixed PLCP preamble time prepended to each frame.
+	PreambleS sim.Time
+}
+
+// DefaultConfig returns 802.11b-like MAC parameters over the given radio
+// model.
+func DefaultConfig(m radio.Model) Config {
+	return Config{
+		Model:         m,
+		SlotS:         20e-6,
+		MinCW:         32,
+		MaxCW:         1024,
+		MaxAttempts:   7,
+		OverheadBytes: 34,
+		PreambleS:     192e-6,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.SlotS <= 0:
+		return fmt.Errorf("mac: SlotS must be positive")
+	case c.MinCW <= 0 || c.MaxCW < c.MinCW:
+		return fmt.Errorf("mac: bad contention window [%d,%d]", c.MinCW, c.MaxCW)
+	case c.MaxAttempts <= 0:
+		return fmt.Errorf("mac: MaxAttempts must be positive")
+	case c.OverheadBytes < 0 || c.PreambleS < 0:
+		return fmt.Errorf("mac: negative overhead")
+	}
+	return nil
+}
+
+// Stats counts MAC-level outcomes across all stations. Forwarding
+// efficiency for MRMM and beacon-delivery reliability both read from here.
+type Stats struct {
+	Sent          int // frames put on the air
+	DroppedBusy   int // frames dropped after exhausting backoff attempts
+	Delivered     int // (frame, receiver) successful deliveries
+	Collided      int // (frame, receiver) losses due to collision
+	BelowSense    int // (frame, receiver) losses due to weak signal
+	MissedAsleep  int // (frame, receiver) losses because the radio slept
+	BytesOnAir    int // total bytes transmitted including MAC overhead
+	AirtimeS      sim.Time
+	TxRequests    int
+	BackoffEvents int
+}
+
+// transmission is one frame in flight on the shared medium.
+type transmission struct {
+	frame Frame
+	from  *station
+	start sim.Time
+	end   sim.Time
+	pos   geom.Vec2
+}
+
+// reception tracks one (transmission, receiver) pair in progress.
+type reception struct {
+	tx        *transmission
+	rssi      float64
+	corrupted bool
+}
+
+// station is the Medium's view of one attached endpoint.
+type station struct {
+	id     int
+	ep     Endpoint
+	active []*reception // receptions in progress at this station
+}
+
+// Medium is the shared broadcast channel all robots contend on.
+type Medium struct {
+	cfg      Config
+	sim      *sim.Simulator
+	rng      *sim.RNG
+	stations map[int]*station
+	// ordered lists stations in ascending ID order: per-receiver noise is
+	// drawn in this order, keeping runs deterministic (map iteration
+	// order would randomize the RNG stream).
+	ordered  []*station
+	inflight []*transmission
+	stats    Stats
+}
+
+// NewMedium builds a medium over the given simulator. The RNG stream drives
+// channel noise and backoff; it must be dedicated to the MAC.
+func NewMedium(s *sim.Simulator, cfg Config, rng *sim.RNG) (*Medium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Medium{
+		cfg:      cfg,
+		sim:      s,
+		rng:      rng,
+		stations: make(map[int]*station),
+	}, nil
+}
+
+// Attach registers an endpoint under the given node ID. Attaching the same
+// ID twice replaces the previous endpoint.
+func (m *Medium) Attach(id int, ep Endpoint) {
+	st := &station{id: id, ep: ep}
+	if old, ok := m.stations[id]; ok {
+		for i, s := range m.ordered {
+			if s == old {
+				m.ordered[i] = st
+				break
+			}
+		}
+	} else {
+		pos := sort.Search(len(m.ordered), func(i int) bool { return m.ordered[i].id > id })
+		m.ordered = append(m.ordered, nil)
+		copy(m.ordered[pos+1:], m.ordered[pos:])
+		m.ordered[pos] = st
+	}
+	m.stations[id] = st
+}
+
+// Stats returns a copy of the MAC counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Config returns the medium's configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Send queues a broadcast frame from the given node, contending for the
+// channel with CSMA. The frame is transmitted after carrier sensing
+// succeeds or dropped after Config.MaxAttempts busy rounds.
+func (m *Medium) Send(from int, f Frame) error {
+	st, ok := m.stations[from]
+	if !ok {
+		return fmt.Errorf("mac: unknown sender %d", from)
+	}
+	f.From = from
+	m.stats.TxRequests++
+	m.attempt(st, f, 1, m.cfg.MinCW)
+	return nil
+}
+
+// attempt performs one carrier-sense round.
+func (m *Medium) attempt(st *station, f Frame, attempt, cw int) {
+	if !m.carrierBusy(st) {
+		m.transmit(st, f)
+		return
+	}
+	if attempt >= m.cfg.MaxAttempts {
+		m.stats.DroppedBusy++
+		return
+	}
+	m.stats.BackoffEvents++
+	backoff := sim.Time(m.rng.Intn(cw)+1) * m.cfg.SlotS
+	next := cw * 2
+	if next > m.cfg.MaxCW {
+		next = m.cfg.MaxCW
+	}
+	m.sim.Schedule(backoff, func() { m.attempt(st, f, attempt+1, next) })
+}
+
+// carrierBusy reports whether station st senses energy on the channel.
+// Any in-flight transmission whose mean signal at st exceeds the receiver
+// sensitivity counts, including the station's own transmissions.
+func (m *Medium) carrierBusy(st *station) bool {
+	now := m.sim.Now()
+	pos := st.ep.Position()
+	for _, tx := range m.inflight {
+		if tx.end <= now {
+			continue
+		}
+		if tx.from == st {
+			return true
+		}
+		if m.cfg.Model.MeanRSSI(pos.Dist(tx.pos)) >= m.cfg.Model.SensitivityDBm {
+			return true
+		}
+	}
+	return false
+}
+
+// transmit puts the frame on the air and schedules per-receiver outcomes.
+func (m *Medium) transmit(st *station, f Frame) {
+	now := m.sim.Now()
+	totalBytes := f.Bytes + m.cfg.OverheadBytes
+	dur := m.cfg.PreambleS + m.cfg.Model.Airtime(totalBytes)
+	tx := &transmission{frame: f, from: st, start: now, end: now + dur, pos: st.ep.Position()}
+	m.inflight = append(m.inflight, tx)
+	m.stats.Sent++
+	m.stats.BytesOnAir += totalBytes
+	m.stats.AirtimeS += dur
+
+	st.ep.BeginTx()
+	m.sim.Schedule(dur, func() {
+		st.ep.EndTx()
+		m.reap(tx)
+	})
+
+	for _, rcv := range m.ordered {
+		if rcv == st {
+			continue
+		}
+		m.beginReception(rcv, tx)
+	}
+}
+
+// beginReception decides the fate of tx at receiver rcv and schedules the
+// delivery (or loss) at end-of-frame.
+func (m *Medium) beginReception(rcv *station, tx *transmission) {
+	d := rcv.ep.Position().Dist(tx.pos)
+	// Hard out-of-range cutoff: when even a +5-sigma fluctuation cannot
+	// reach sensitivity, skip the receiver without drawing noise.
+	if m.cfg.Model.MaxPlausibleRSSI(d) < m.cfg.Model.SensitivityDBm {
+		m.stats.BelowSense++
+		return
+	}
+	rssi := m.cfg.Model.SampleRSSI(d, m.rng)
+	// Signals more than a margin below sensitivity neither decode nor
+	// meaningfully interfere; skip them entirely.
+	if rssi < m.cfg.Model.SensitivityDBm {
+		m.stats.BelowSense++
+		return
+	}
+	if !rcv.ep.Listening() {
+		m.stats.MissedAsleep++
+		return
+	}
+
+	rec := &reception{tx: tx, rssi: rssi}
+	// Collision resolution against receptions already in progress.
+	for _, other := range rcv.active {
+		switch {
+		case other.rssi >= rec.rssi+m.cfg.Model.CaptureThresholdDB:
+			rec.corrupted = true
+		case rec.rssi >= other.rssi+m.cfg.Model.CaptureThresholdDB:
+			other.corrupted = true
+		default:
+			rec.corrupted = true
+			other.corrupted = true
+		}
+	}
+	rcv.active = append(rcv.active, rec)
+	rcv.ep.BeginRx()
+
+	dur := tx.end - m.sim.Now()
+	m.sim.Schedule(dur, func() {
+		rcv.ep.EndRx()
+		rcv.removeReception(rec)
+		switch {
+		case rec.corrupted:
+			m.stats.Collided++
+		case !rcv.ep.Listening():
+			// The radio went to sleep mid-frame.
+			m.stats.MissedAsleep++
+		default:
+			m.stats.Delivered++
+			rcv.ep.Deliver(tx.frame, rssi)
+		}
+	})
+}
+
+func (s *station) removeReception(r *reception) {
+	for i, rec := range s.active {
+		if rec == r {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// reap removes a completed transmission from the in-flight list.
+func (m *Medium) reap(tx *transmission) {
+	for i, t := range m.inflight {
+		if t == tx {
+			m.inflight = append(m.inflight[:i], m.inflight[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package mcl
+
+import (
+	"testing"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+// BenchmarkApplyBeacon measures the per-beacon particle reweighting at the
+// default 2000-particle filter size.
+func BenchmarkApplyBeacon(b *testing.B) {
+	f, err := New(DefaultConfig(geom.Square(200)), sim.NewRNG(1).Stream("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdf := caltable.GaussianPDF{Mu: 40, Sigma: 5}
+	pos := geom.Vec2{X: 70, Y: 120}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ApplyBeacon(pos, pdf)
+		if i%16 == 15 {
+			f.Reset()
+		}
+	}
+}

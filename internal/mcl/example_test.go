@@ -1,0 +1,29 @@
+package mcl_test
+
+import (
+	"fmt"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/geom"
+	"cocoa/internal/mcl"
+	"cocoa/internal/sim"
+)
+
+// ExampleFilter localizes with Monte Carlo sampling using the same
+// calibrated distance PDFs as the grid estimator.
+func ExampleFilter() {
+	f, err := mcl.New(mcl.DefaultConfig(geom.Square(200)), sim.NewRNG(1).Stream("example"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	truth := geom.Vec2{X: 70, Y: 120}
+	for _, anchor := range []geom.Vec2{{X: 40, Y: 100}, {X: 100, Y: 140}, {X: 80, Y: 60}} {
+		f.ApplyBeacon(anchor, caltable.GaussianPDF{Mu: truth.Dist(anchor), Sigma: 2})
+	}
+	fmt.Println("ready:", f.Ready())
+	fmt.Println("error below 6 m:", f.Estimate().Dist(truth) < 6)
+	// Output:
+	// ready: true
+	// error below 6 m: true
+}

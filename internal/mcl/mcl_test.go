@@ -1,0 +1,188 @@
+package mcl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+func newFilter(t *testing.T, seed int64) *Filter {
+	t.Helper()
+	f, err := New(DefaultConfig(geom.Square(200)), sim.NewRNG(seed).Stream("mcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(geom.Square(200)).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Particles = 0 },
+		func(c *Config) { c.Area = geom.Rect{} },
+		func(c *Config) { c.ResampleESSFrac = 0 },
+		func(c *Config) { c.ResampleESSFrac = 1.5 },
+		func(c *Config) { c.JitterM = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig(geom.Square(200))
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: accepted invalid config", i)
+		}
+	}
+}
+
+func TestUniformPriorEstimate(t *testing.T) {
+	f := newFilter(t, 1)
+	// The uniform prior's mean is near the area center.
+	if got := f.Estimate().Dist(geom.Square(200).Center()); got > 5 {
+		t.Errorf("uniform estimate off center by %.1f m", got)
+	}
+	if f.Ready() {
+		t.Error("Ready before any beacons")
+	}
+	if got := f.ESS(); math.Abs(got-2000) > 1 {
+		t.Errorf("initial ESS = %v, want ~N", got)
+	}
+}
+
+func TestTrilateration(t *testing.T) {
+	f := newFilter(t, 2)
+	truth := geom.Vec2{X: 70, Y: 120}
+	anchors := []geom.Vec2{{X: 40, Y: 100}, {X: 100, Y: 140}, {X: 80, Y: 60}}
+	for _, a := range anchors {
+		f.ApplyBeacon(a, caltable.GaussianPDF{Mu: truth.Dist(a), Sigma: 2})
+	}
+	if !f.Ready() {
+		t.Fatal("not Ready after 3 beacons")
+	}
+	if err := f.Estimate().Dist(truth); err > 6 {
+		t.Errorf("particle trilateration error = %.2f m, want < 6", err)
+	}
+}
+
+func TestResetRestoresPrior(t *testing.T) {
+	f := newFilter(t, 3)
+	f.ApplyBeacon(geom.Vec2{X: 50, Y: 50}, caltable.GaussianPDF{Mu: 10, Sigma: 1})
+	f.Reset()
+	if f.BeaconCount() != 0 {
+		t.Error("beacon count not cleared")
+	}
+	if got := f.Estimate().Dist(geom.Square(200).Center()); got > 5 {
+		t.Errorf("post-reset estimate off center by %.1f m", got)
+	}
+}
+
+func TestResamplingTriggers(t *testing.T) {
+	f := newFilter(t, 4)
+	// A very sharp beacon collapses the weights; ESS must recover via
+	// resampling rather than degenerate toward 1.
+	f.ApplyBeacon(geom.Vec2{X: 100, Y: 100}, caltable.GaussianPDF{Mu: 10, Sigma: 0.5})
+	if f.ESS() < float64(f.cfg.Particles)/4 {
+		t.Errorf("ESS = %.0f after sharp beacon; resampling should have restored it", f.ESS())
+	}
+}
+
+func TestConflictingBeaconsStayFinite(t *testing.T) {
+	f := newFilter(t, 5)
+	f.ApplyBeacon(geom.Vec2{X: 10, Y: 10}, caltable.GaussianPDF{Mu: 5, Sigma: 0.5})
+	f.ApplyBeacon(geom.Vec2{X: 190, Y: 190}, caltable.GaussianPDF{Mu: 5, Sigma: 0.5})
+	est := f.Estimate()
+	if math.IsNaN(est.X) || math.IsNaN(est.Y) {
+		t.Fatal("NaN estimate after conflicting beacons")
+	}
+	if !geom.Square(200).Contains(est) {
+		t.Errorf("estimate %v left the area", est)
+	}
+}
+
+func TestParticlesStayInArea(t *testing.T) {
+	f := newFilter(t, 6)
+	area := geom.Square(200)
+	// Beacons near a corner drive particles toward the boundary; the
+	// clamp must hold them inside.
+	for i := 0; i < 10; i++ {
+		f.ApplyBeacon(geom.Vec2{X: 5, Y: 5}, caltable.GaussianPDF{Mu: 3, Sigma: 1})
+	}
+	for i := range f.xs {
+		if !area.Contains(geom.Vec2{X: f.xs[i], Y: f.ys[i]}) {
+			t.Fatalf("particle %d escaped: (%v, %v)", i, f.xs[i], f.ys[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() geom.Vec2 {
+		f := newFilter(t, 42)
+		truth := geom.Vec2{X: 70, Y: 120}
+		for _, a := range []geom.Vec2{{X: 40, Y: 100}, {X: 100, Y: 140}, {X: 80, Y: 60}} {
+			f.ApplyBeacon(a, caltable.GaussianPDF{Mu: truth.Dist(a), Sigma: 2})
+		}
+		return f.Estimate()
+	}
+	if run() != run() {
+		t.Error("same seed produced different estimates")
+	}
+}
+
+// Property: weights always sum to ~1 after each beacon and the estimate
+// stays inside the area.
+func TestInvariantProperty(t *testing.T) {
+	f := newFilter(t, 7)
+	area := geom.Square(200)
+	prop := func(seeds []uint8) bool {
+		f.Reset()
+		for _, s := range seeds {
+			pos := geom.Vec2{X: float64(s%200) + 0.5, Y: float64((s*13)%200) + 0.5}
+			f.ApplyBeacon(pos, caltable.GaussianPDF{Mu: float64(s%60) + 1, Sigma: 3})
+			var sum float64
+			for _, w := range f.ws {
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return area.Contains(f.Estimate())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// More particles should not hurt accuracy (law of large numbers); compare
+// 200 vs 5000 on the same beacon sequence.
+func TestParticleCountAccuracy(t *testing.T) {
+	errFor := func(n int, seed int64) float64 {
+		cfg := DefaultConfig(geom.Square(200))
+		cfg.Particles = n
+		f, err := New(cfg, sim.NewRNG(seed).Stream("mcl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := geom.Vec2{X: 130, Y: 60}
+		anchors := []geom.Vec2{
+			{X: 20, Y: 20}, {X: 180, Y: 30}, {X: 100, Y: 180}, {X: 60, Y: 90},
+		}
+		for _, a := range anchors {
+			f.ApplyBeacon(a, caltable.GaussianPDF{Mu: truth.Dist(a), Sigma: 4})
+		}
+		return f.Estimate().Dist(truth)
+	}
+	var small, large float64
+	const trials = 10
+	for s := int64(0); s < trials; s++ {
+		small += errFor(200, 100+s)
+		large += errFor(5000, 100+s)
+	}
+	if large > small+1 {
+		t.Errorf("5000 particles (%.2f m) worse than 200 (%.2f m)", large/trials, small/trials)
+	}
+}

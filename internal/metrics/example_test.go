@@ -1,0 +1,18 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"cocoa/internal/metrics"
+)
+
+// ExampleCDF builds the empirical distribution behind the paper's Figure 8.
+func ExampleCDF() {
+	errorsM := []float64{2, 3, 4, 5, 6, 7, 8, 9, 11, 14}
+	cdf := metrics.NewCDF(errorsM)
+	fmt.Printf("P(err <= 10 m) = %.0f%%\n", 100*cdf.FractionBelow(10))
+	fmt.Printf("P90 = %.1f m\n", cdf.Quantile(0.9))
+	// Output:
+	// P(err <= 10 m) = 80%
+	// P90 = 11.3 m
+}

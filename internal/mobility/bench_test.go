@@ -1,0 +1,19 @@
+package mobility
+
+import (
+	"testing"
+
+	"cocoa/internal/sim"
+)
+
+func BenchmarkAdvance(b *testing.B) {
+	w, err := NewWaypoint(DefaultConfig(2.0), sim.NewRNG(1).Stream("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		now += 1
+		_ = w.Position(now)
+	}
+}

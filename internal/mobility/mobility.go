@@ -1,0 +1,194 @@
+// Package mobility implements the paper's robot movement model: as the
+// simulation starts each robot is given a random command to move to a
+// random destination in the deployment area at a speed chosen uniformly
+// between 0.1 m/s and vmax; on arrival it receives a new random command.
+// An optional rest period at each destination models the robot performing
+// a task there; MRMM's mesh pruning consumes the resulting mobility
+// knowledge (destination, speed, rest time).
+package mobility
+
+import (
+	"fmt"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+// Config parameterizes the waypoint model.
+type Config struct {
+	// Area is the deployment area (paper: 40000 m^2).
+	Area geom.Rect
+	// VMin and VMax bound the uniformly drawn leg speed in m/s
+	// (paper: 0.1 .. vmax with vmax in {0.5, 2.0}).
+	VMin float64
+	VMax float64
+	// RestMin and RestMax bound the uniformly drawn pause at each
+	// destination, in seconds. Zero models continuous movement.
+	RestMin sim.Time
+	RestMax sim.Time
+}
+
+// DefaultConfig returns the paper's movement parameters for the given
+// maximum speed.
+func DefaultConfig(vmax float64) Config {
+	return Config{
+		Area: geom.Square(200),
+		VMin: 0.1,
+		VMax: vmax,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Area.Width() <= 0 || c.Area.Height() <= 0:
+		return fmt.Errorf("mobility: degenerate area %+v", c.Area)
+	case c.VMin <= 0 || c.VMax < c.VMin:
+		return fmt.Errorf("mobility: bad speed range [%v, %v]", c.VMin, c.VMax)
+	case c.RestMin < 0 || c.RestMax < c.RestMin:
+		return fmt.Errorf("mobility: bad rest range [%v, %v]", c.RestMin, c.RestMax)
+	}
+	return nil
+}
+
+// Waypoint is one robot's movement process. It is advanced lazily: callers
+// ask for the position at a virtual time and the model replays any leg
+// completions and new commands in between. Times must be non-decreasing.
+type Waypoint struct {
+	cfg Config
+	rng *sim.RNG
+
+	pos       geom.Vec2
+	lastT     sim.Time
+	dest      geom.Vec2
+	speed     float64
+	restUntil sim.Time
+	resting   bool
+	legs      int
+}
+
+// NewWaypoint builds a movement process starting at a uniformly random
+// position with its first command already issued.
+func NewWaypoint(cfg Config, rng *sim.RNG) (*Waypoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Waypoint{cfg: cfg, rng: rng}
+	w.pos = w.randomPoint()
+	w.newCommand()
+	return w, nil
+}
+
+// NewWaypointAt is NewWaypoint with a caller-chosen start position.
+func NewWaypointAt(cfg Config, rng *sim.RNG, start geom.Vec2) (*Waypoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Waypoint{cfg: cfg, rng: rng, pos: cfg.Area.Clamp(start)}
+	w.newCommand()
+	return w, nil
+}
+
+func (w *Waypoint) randomPoint() geom.Vec2 {
+	return geom.Vec2{
+		X: w.rng.Uniform(w.cfg.Area.Min.X, w.cfg.Area.Max.X),
+		Y: w.rng.Uniform(w.cfg.Area.Min.Y, w.cfg.Area.Max.Y),
+	}
+}
+
+// newCommand issues the next random movement command.
+func (w *Waypoint) newCommand() {
+	w.dest = w.randomPoint()
+	w.speed = w.rng.Uniform(w.cfg.VMin, w.cfg.VMax)
+	w.resting = false
+	w.legs++
+}
+
+// Position returns the robot's true position at time now, advancing the
+// model. now must not precede a previously queried time.
+func (w *Waypoint) Position(now sim.Time) geom.Vec2 {
+	w.advance(now)
+	return w.pos
+}
+
+// advance replays movement up to now.
+func (w *Waypoint) advance(now sim.Time) {
+	if now < w.lastT {
+		panic(fmt.Sprintf("mobility: time went backwards: %v < %v", now, w.lastT))
+	}
+	for w.lastT < now {
+		if w.resting {
+			if now < w.restUntil {
+				w.lastT = now
+				return
+			}
+			w.lastT = w.restUntil
+			w.newCommand()
+			continue
+		}
+		d := w.pos.Dist(w.dest)
+		arrive := w.lastT + sim.Time(d/w.speed)
+		if arrive <= now {
+			w.pos = w.dest
+			w.lastT = arrive
+			rest := w.rng.Uniform(w.cfg.RestMin, w.cfg.RestMax)
+			if rest > 0 {
+				w.resting = true
+				w.restUntil = w.lastT + rest
+			} else {
+				w.newCommand()
+			}
+			continue
+		}
+		dt := now - w.lastT
+		w.pos = w.pos.Add(w.dest.Sub(w.pos).Unit().Scale(w.speed * dt))
+		w.lastT = now
+	}
+}
+
+// Velocity returns the robot's current velocity vector at the last advanced
+// time (zero while resting or upon arrival).
+func (w *Waypoint) Velocity() geom.Vec2 {
+	if w.resting || w.pos == w.dest {
+		return geom.Vec2{}
+	}
+	return w.dest.Sub(w.pos).Unit().Scale(w.speed)
+}
+
+// Heading returns the current movement heading in radians.
+func (w *Waypoint) Heading() float64 { return w.Velocity().Heading() }
+
+// Destination returns the current movement target — part of the mobility
+// knowledge MRMM exploits.
+func (w *Waypoint) Destination() geom.Vec2 { return w.dest }
+
+// Speed returns the current commanded speed in m/s.
+func (w *Waypoint) Speed() float64 { return w.speed }
+
+// RestRemaining returns how much longer the robot will rest at its current
+// position (zero when moving): the paper's d_rest.
+func (w *Waypoint) RestRemaining(now sim.Time) sim.Time {
+	if !w.resting || now >= w.restUntil {
+		return 0
+	}
+	return w.restUntil - now
+}
+
+// Legs returns the number of movement commands issued so far.
+func (w *Waypoint) Legs() int { return w.legs }
+
+// HoldUntil commands the robot to stop where it is (as of now) and stay
+// put until the given time, after which normal waypoint movement resumes
+// with a fresh command. Cooperative-positioning schemes use this to park
+// half the team as landmarks. Holding an already-resting robot extends
+// its rest.
+func (w *Waypoint) HoldUntil(now, until sim.Time) {
+	w.advance(now)
+	if until <= now {
+		return
+	}
+	w.resting = true
+	if !(w.restUntil > until) {
+		w.restUntil = until
+	}
+}

@@ -1,0 +1,284 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+func newTestWaypoint(t *testing.T, vmax float64, seed int64) *Waypoint {
+	t.Helper()
+	w, err := NewWaypoint(DefaultConfig(vmax), sim.NewRNG(seed).Stream("mob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, vmax := range []float64{0.5, 2.0} {
+		if err := DefaultConfig(vmax).Validate(); err != nil {
+			t.Errorf("vmax=%v: %v", vmax, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"degenerate area", func(c *Config) { c.Area = geom.Rect{} }},
+		{"zero vmin", func(c *Config) { c.VMin = 0 }},
+		{"vmax below vmin", func(c *Config) { c.VMax = 0.05 }},
+		{"negative rest", func(c *Config) { c.RestMin = -1 }},
+		{"rest range inverted", func(c *Config) { c.RestMin = 5; c.RestMax = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig(2)
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestStaysInsideArea(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 1)
+	area := DefaultConfig(2.0).Area
+	for now := 0.0; now <= 1800; now += 0.5 {
+		if p := w.Position(now); !area.Contains(p) {
+			t.Fatalf("position %v at t=%v outside area", p, now)
+		}
+	}
+}
+
+func TestSpeedBounds(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 2)
+	prev := w.Position(0)
+	for now := 1.0; now <= 1800; now++ {
+		cur := w.Position(now)
+		step := cur.Dist(prev)
+		// One second of movement can straddle a waypoint (turn), so the
+		// displacement can be shorter than the slowest speed but never
+		// faster than vmax.
+		if step > 2.0+1e-9 {
+			t.Fatalf("moved %v m in 1 s, above vmax", step)
+		}
+		prev = cur
+	}
+}
+
+func TestMovementActuallyProgresses(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 3)
+	start := w.Position(0)
+	end := w.Position(300)
+	if start.Dist(end) == 0 && w.Legs() < 2 {
+		t.Fatal("robot did not move in 300 s")
+	}
+	if w.Legs() < 1 {
+		t.Fatal("no movement commands issued")
+	}
+}
+
+func TestArrivalIssuesNewCommand(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 4)
+	legs0 := w.Legs()
+	// Long enough that several legs complete at up to 2 m/s across a
+	// 200 m square (max leg ~283 m -> ~142 s).
+	w.Position(1800)
+	if w.Legs() <= legs0 {
+		t.Fatalf("legs did not increase: %d", w.Legs())
+	}
+}
+
+func TestVelocityConsistentWithDisplacement(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 5)
+	w.Position(10)
+	v := w.Velocity()
+	if v.Len() == 0 {
+		t.Skip("robot at rest at t=10 for this seed")
+	}
+	p0 := w.Position(10)
+	p1 := w.Position(10.1)
+	moved := p1.Sub(p0)
+	// Unless a waypoint was crossed, displacement ~ velocity * dt.
+	if w.Legs() == 1 && moved.Sub(v.Scale(0.1)).Len() > 1e-6 {
+		t.Errorf("displacement %v inconsistent with velocity %v", moved, v)
+	}
+}
+
+func TestHeadingMatchesVelocity(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 6)
+	w.Position(5)
+	v := w.Velocity()
+	if v.Len() > 0 {
+		if got, want := w.Heading(), v.Heading(); math.Abs(geom.AngleDiff(got, want)) > 1e-12 {
+			t.Errorf("Heading = %v, velocity heading %v", got, want)
+		}
+	}
+}
+
+func TestRestSemantics(t *testing.T) {
+	cfg := DefaultConfig(2.0)
+	cfg.RestMin, cfg.RestMax = 10, 10
+	w, err := NewWaypoint(cfg, sim.NewRNG(7).Stream("mob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive until the first arrival.
+	var arriveT sim.Time
+	prev := w.Position(0)
+	for now := 1.0; now < 600; now++ {
+		cur := w.Position(now)
+		if cur == prev && w.RestRemaining(now) > 0 {
+			arriveT = now
+			break
+		}
+		prev = cur
+	}
+	if arriveT == 0 {
+		t.Fatal("never observed a rest in 600 s")
+	}
+	if v := w.Velocity(); v.Len() != 0 {
+		t.Errorf("velocity during rest = %v, want zero", v)
+	}
+	rem := w.RestRemaining(arriveT)
+	if rem <= 0 || rem > 10 {
+		t.Errorf("RestRemaining = %v, want (0,10]", rem)
+	}
+	// After the rest the robot moves again.
+	pRest := w.Position(arriveT)
+	pLater := w.Position(arriveT + 15)
+	if pRest.Dist(pLater) == 0 {
+		t.Error("robot did not resume after rest")
+	}
+}
+
+func TestNoRestByDefault(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 8)
+	for now := 0.0; now < 1800; now += 1 {
+		w.Position(now)
+		if w.RestRemaining(now) != 0 {
+			t.Fatalf("unexpected rest at t=%v with zero rest config", now)
+		}
+	}
+}
+
+func TestHoldUntil(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 20)
+	p10 := w.Position(10)
+	w.HoldUntil(10, 60)
+	if got := w.Position(40); got != p10 {
+		t.Errorf("moved during hold: %v -> %v", p10, got)
+	}
+	if w.RestRemaining(40) != 20 {
+		t.Errorf("RestRemaining = %v, want 20", w.RestRemaining(40))
+	}
+	if v := w.Velocity(); v.Len() != 0 {
+		t.Errorf("velocity during hold = %v", v)
+	}
+	// Movement resumes after the hold.
+	if got := w.Position(120); got == p10 {
+		t.Error("robot did not resume after hold")
+	}
+}
+
+func TestHoldUntilExtendsRest(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 21)
+	w.Position(5)
+	w.HoldUntil(5, 30)
+	w.HoldUntil(10, 20) // shorter hold must not cut the existing one
+	if got := w.RestRemaining(10); got != 20 {
+		t.Errorf("RestRemaining = %v, want 20 (until t=30)", got)
+	}
+	w.HoldUntil(12, 50) // longer hold extends
+	if got := w.RestRemaining(12); got != 38 {
+		t.Errorf("RestRemaining = %v, want 38", got)
+	}
+}
+
+func TestHoldUntilPastIsNoop(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 22)
+	w.Position(10)
+	w.HoldUntil(10, 5)
+	if w.RestRemaining(10) != 0 {
+		t.Error("hold in the past took effect")
+	}
+}
+
+func TestTimeBackwardsPanics(t *testing.T) {
+	w := newTestWaypoint(t, 2.0, 9)
+	w.Position(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time reversal")
+		}
+	}()
+	w.Position(5)
+}
+
+func TestNewWaypointAt(t *testing.T) {
+	cfg := DefaultConfig(1.0)
+	start := geom.Vec2{X: 50, Y: 60}
+	w, err := NewWaypointAt(cfg, sim.NewRNG(10).Stream("mob"), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Position(0); got != start {
+		t.Errorf("start position = %v, want %v", got, start)
+	}
+	// Out-of-area start positions are clamped.
+	w2, err := NewWaypointAt(cfg, sim.NewRNG(11).Stream("mob"), geom.Vec2{X: -50, Y: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Position(0); !cfg.Area.Contains(got) {
+		t.Errorf("clamped start %v outside area", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := newTestWaypoint(t, 2.0, 42)
+	b := newTestWaypoint(t, 2.0, 42)
+	for now := 0.0; now < 500; now += 3.7 {
+		if a.Position(now) != b.Position(now) {
+			t.Fatalf("same-seed trajectories diverge at t=%v", now)
+		}
+	}
+}
+
+// Property: for any monotone query schedule, positions remain in the area
+// and per-query displacement respects vmax.
+func TestWaypointProperty(t *testing.T) {
+	cfg := DefaultConfig(2.0)
+	f := func(seed int64, steps []uint8) bool {
+		w, err := NewWaypoint(cfg, sim.NewRNG(seed).Stream("mob"))
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		prev := w.Position(0)
+		for _, s := range steps {
+			dt := float64(s%100)/10 + 0.1
+			now += dt
+			cur := w.Position(now)
+			if !cfg.Area.Contains(cur) {
+				return false
+			}
+			if cur.Dist(prev) > cfg.VMax*dt*(1+1e-9)+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,19 @@
+package odometry
+
+import (
+	"testing"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+func BenchmarkStep(b *testing.B) {
+	d, err := NewDeadReckoner(DefaultConfig(), sim.NewRNG(1).Stream("bench"), geom.Vec2{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta := geom.Vec2{X: 1.1, Y: 0.3}
+	for i := 0; i < b.N; i++ {
+		d.Step(delta, 1)
+	}
+}

@@ -1,0 +1,278 @@
+package odometry
+
+import (
+	"math"
+	"testing"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/mobility"
+	"cocoa/internal/sim"
+)
+
+// zeroNoise makes the reckoner deterministic.
+type zeroNoise struct{}
+
+func (zeroNoise) Normal(mean, _ float64) float64 { return mean }
+
+// scriptedNoise returns canned draws.
+type scriptedNoise struct {
+	draws []float64
+	i     int
+}
+
+func (s *scriptedNoise) Normal(mean, stddev float64) float64 {
+	if s.i >= len(s.draws) {
+		return mean
+	}
+	v := mean + stddev*s.draws[s.i]
+	s.i++
+	return v
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.DispSigmaPerSec != 0.1 {
+		t.Errorf("DispSigmaPerSec = %v, want 0.1", c.DispSigmaPerSec)
+	}
+	if math.Abs(geom.Degrees(c.AngleSigmaRad)-10) > 1e-9 {
+		t.Errorf("AngleSigma = %v deg, want 10", geom.Degrees(c.AngleSigmaRad))
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	for _, c := range []Config{
+		{DispSigmaPerSec: -1},
+		{AngleSigmaRad: -1},
+		{TurnThresholdRad: -1},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+}
+
+func TestNoNoiseTracksPerfectly(t *testing.T) {
+	d, err := NewDeadReckoner(DefaultConfig(), zeroNoise{}, geom.Vec2{X: 1, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk a square.
+	steps := []geom.Vec2{{X: 10}, {Y: 10}, {X: -10}, {Y: -10}}
+	truth := geom.Vec2{X: 1, Y: 2}
+	for _, s := range steps {
+		d.Step(s, 1)
+		truth = truth.Add(s)
+		if got := d.Estimate(); got.Dist(truth) > 1e-9 {
+			t.Fatalf("estimate %v, truth %v", got, truth)
+		}
+	}
+}
+
+func TestStationaryDoesNotDrift(t *testing.T) {
+	rng := sim.NewRNG(1).Stream("odo")
+	d, err := NewDeadReckoner(DefaultConfig(), rng, geom.Vec2{X: 5, Y: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d.Step(geom.Vec2{}, 1)
+	}
+	if got := d.Estimate(); got != (geom.Vec2{X: 5, Y: 5}) {
+		t.Errorf("stationary estimate moved to %v", got)
+	}
+}
+
+func TestTurnIncursHeadingError(t *testing.T) {
+	// Draw order per Step: [turn (if turning)], drift, displacement.
+	// Step 1 (first leg): drift=0, disp=0. Step 2 (turn): turn=1,
+	// drift=0, disp=0.
+	n := &scriptedNoise{draws: []float64{0, 0, 1, 0, 0}}
+	cfg := DefaultConfig()
+	d, err := NewDeadReckoner(cfg, n, geom.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step(geom.Vec2{X: 10}, 1) // first leg, no turn registered
+	if d.HeadingBias() != 0 {
+		t.Fatalf("bias after first leg = %v, want 0", d.HeadingBias())
+	}
+	d.Step(geom.Vec2{Y: 10}, 1) // 90-degree turn
+	if got, want := d.HeadingBias(), cfg.AngleSigmaRad; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bias after turn = %v, want %v", got, want)
+	}
+	// The second leg is rotated by the bias.
+	est := d.Estimate()
+	want := geom.Vec2{X: 10}.Add(geom.FromPolar(10, math.Pi/2+cfg.AngleSigmaRad))
+	if est.Dist(want) > 1e-9 {
+		t.Fatalf("estimate %v, want %v", est, want)
+	}
+}
+
+func TestStraightLineNoTurnError(t *testing.T) {
+	n := &scriptedNoise{draws: []float64{0, 0, 0, 0, 0, 0}}
+	d, err := NewDeadReckoner(DefaultConfig(), n, geom.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Step(geom.Vec2{X: 2}, 1)
+	}
+	if d.HeadingBias() != 0 {
+		t.Errorf("straight line accrued heading bias %v", d.HeadingBias())
+	}
+}
+
+func TestNegativeMeasuredDistanceClamped(t *testing.T) {
+	// drift=0, then a huge negative displacement noise.
+	n := &scriptedNoise{draws: []float64{0, -100}}
+	d, err := NewDeadReckoner(DefaultConfig(), n, geom.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step(geom.Vec2{X: 0.01}, 1)
+	if got := d.Estimate().Len(); got != 0 {
+		t.Errorf("estimate moved backwards: %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := &scriptedNoise{draws: []float64{0, 0, 1, 0, 0}}
+	d, err := NewDeadReckoner(DefaultConfig(), n, geom.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step(geom.Vec2{X: 10}, 1)
+	d.Step(geom.Vec2{Y: 10}, 1) // the turn accrues bias
+	bias := d.HeadingBias()
+	if bias == 0 {
+		t.Fatal("test setup: no bias accrued")
+	}
+	d.Reset(geom.Vec2{X: 1, Y: 1})
+	if got := d.Estimate(); got != (geom.Vec2{X: 1, Y: 1}) {
+		t.Errorf("Reset estimate = %v", got)
+	}
+	if d.HeadingBias() != bias {
+		t.Error("Reset cleared heading bias; a bare position fix must not recalibrate heading")
+	}
+}
+
+func TestReanchorClearsAllState(t *testing.T) {
+	n := &scriptedNoise{draws: []float64{0, 0, 1, 0, 0}}
+	d, err := NewDeadReckoner(DefaultConfig(), n, geom.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step(geom.Vec2{X: 10}, 1)
+	d.Step(geom.Vec2{Y: 10}, 1)
+	if d.HeadingBias() == 0 {
+		t.Fatal("test setup: no bias accrued")
+	}
+	d.Reanchor(geom.Vec2{X: 2, Y: 3})
+	if got := d.Estimate(); got != (geom.Vec2{X: 2, Y: 3}) {
+		t.Errorf("Reanchor estimate = %v", got)
+	}
+	if d.HeadingBias() != 0 {
+		t.Error("Reanchor kept heading bias; CoCoA fixes restart odometry from scratch")
+	}
+}
+
+func TestHeadingDriftAccumulates(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := sim.NewRNG(5).Stream("drift")
+	d, err := NewDeadReckoner(cfg, rng, geom.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long straight walk: no turns, but gyro drift still accrues.
+	for i := 0; i < 1800; i++ {
+		d.Step(geom.Vec2{X: 1}, 1)
+	}
+	if d.HeadingBias() == 0 {
+		t.Error("no drift accumulated over 30 straight minutes")
+	}
+	// The drift magnitude should be on the order of
+	// HeadingDriftRadPerSqrtS * sqrt(1800), not wildly larger.
+	if math.Abs(d.HeadingBias()) > 6*cfg.HeadingDriftRadPerSqrtS*math.Sqrt(1800) {
+		t.Errorf("drift %v implausibly large", d.HeadingBias())
+	}
+}
+
+func TestBadDtPanics(t *testing.T) {
+	d, err := NewDeadReckoner(DefaultConfig(), zeroNoise{}, geom.Vec2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dt <= 0")
+		}
+	}()
+	d.Step(geom.Vec2{X: 1}, 0)
+}
+
+// Integration with the mobility model: over the paper's 30-minute run the
+// odometry-only error must accumulate substantially (Figure 4 reaches
+// >100 m); averaged over robots it must far exceed the RF-fix scale (~6 m).
+func TestErrorAccumulatesOverPaperRun(t *testing.T) {
+	const robots = 20
+	var finalSum float64
+	for r := 0; r < robots; r++ {
+		rng := sim.NewRNG(int64(100 + r))
+		w, err := mobility.NewWaypoint(mobility.DefaultConfig(2.0), rng.Stream("mob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := w.Position(0)
+		d, err := NewDeadReckoner(DefaultConfig(), rng.Stream("odo"), start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := start
+		for now := 1.0; now <= 1800; now++ {
+			cur := w.Position(now)
+			d.Step(cur.Sub(prev), 1)
+			prev = cur
+		}
+		finalSum += d.Estimate().Dist(prev)
+	}
+	avg := finalSum / robots
+	if avg < 30 {
+		t.Errorf("average 30-min odometry error = %.1f m, want large (paper >100 m)", avg)
+	}
+}
+
+// The error at 60 s must be far smaller than at 1800 s (monotone growth in
+// expectation), which is what motivates CoCoA's periodic RF fixes.
+func TestErrorGrowthShape(t *testing.T) {
+	const robots = 20
+	errAt := func(horizon float64) float64 {
+		var sum float64
+		for r := 0; r < robots; r++ {
+			rng := sim.NewRNG(int64(200 + r))
+			w, err := mobility.NewWaypoint(mobility.DefaultConfig(2.0), rng.Stream("mob"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := w.Position(0)
+			d, err := NewDeadReckoner(DefaultConfig(), rng.Stream("odo"), start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := start
+			for now := 1.0; now <= horizon; now++ {
+				cur := w.Position(now)
+				d.Step(cur.Sub(prev), 1)
+				prev = cur
+			}
+			sum += d.Estimate().Dist(prev)
+		}
+		return sum / robots
+	}
+	early, late := errAt(60), errAt(1800)
+	if late < 5*early {
+		t.Errorf("error growth too flat: 60s=%.2f m, 1800s=%.2f m", early, late)
+	}
+}

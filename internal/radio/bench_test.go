@@ -1,0 +1,23 @@
+package radio
+
+import (
+	"testing"
+
+	"cocoa/internal/sim"
+)
+
+func BenchmarkSampleRSSINear(b *testing.B) {
+	m := DefaultModel()
+	rng := sim.NewRNG(1).Stream("bench")
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleRSSI(20, rng)
+	}
+}
+
+func BenchmarkSampleRSSIFar(b *testing.B) {
+	m := DefaultModel()
+	rng := sim.NewRNG(1).Stream("bench")
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleRSSI(120, rng)
+	}
+}

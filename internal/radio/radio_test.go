@@ -1,0 +1,247 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cocoa/internal/sim"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("DefaultModel invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero reference dist", func(m *Model) { m.ReferenceDist = 0 }},
+		{"negative exponent", func(m *Model) { m.PathLossExp = -1 }},
+		{"zero bitrate", func(m *Model) { m.BitrateBps = 0 }},
+		{"negative sigma", func(m *Model) { m.ShadowSigmaDB = -1 }},
+		{"fade prob > 1", func(m *Model) { m.DeepFadeProb = 1.5 }},
+		{"inverted clamp", func(m *Model) { m.MinRSSIDBm, m.MaxRSSIDBm = -30, -100 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := DefaultModel()
+			tt.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("Validate accepted bad model")
+			}
+		})
+	}
+}
+
+// The paper's anchor points: -80 dBm at ~40 m, -52 dBm at single-digit
+// meters, usable range beyond 150 m.
+func TestPaperCalibrationAnchors(t *testing.T) {
+	m := DefaultModel()
+	at40 := m.MeanRSSI(40)
+	if at40 > -75 || at40 < -85 {
+		t.Errorf("MeanRSSI(40m) = %.1f dBm, want about -80", at40)
+	}
+	d52 := m.DistanceForRSSI(-52)
+	if d52 < 2 || d52 > 10 {
+		t.Errorf("distance for -52 dBm = %.1f m, want single digits", d52)
+	}
+	if r := m.MeanRange(); r < 150 {
+		t.Errorf("MeanRange = %.1f m, want > 150 (802.11b outdoor)", r)
+	}
+}
+
+func TestMeanRSSIMonotoneDecreasing(t *testing.T) {
+	m := DefaultModel()
+	prev := m.MeanRSSI(1)
+	for d := 2.0; d <= 300; d += 1 {
+		cur := m.MeanRSSI(d)
+		if cur >= prev {
+			t.Fatalf("MeanRSSI not decreasing at d=%v: %v >= %v", d, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestMeanRSSIClampsBelowReference(t *testing.T) {
+	m := DefaultModel()
+	if got, want := m.MeanRSSI(0.1), m.MeanRSSI(m.ReferenceDist); got != want {
+		t.Errorf("MeanRSSI(0.1) = %v, want clamped to %v", got, want)
+	}
+}
+
+func TestDistanceForRSSIInvertsMean(t *testing.T) {
+	m := DefaultModel()
+	for _, d := range []float64{1, 5, 20, 40, 100, 160} {
+		r := m.MeanRSSI(d)
+		back := m.DistanceForRSSI(r)
+		if math.Abs(back-d) > 1e-9*d {
+			t.Errorf("round trip d=%v -> %v", d, back)
+		}
+	}
+}
+
+func TestFadeSigmaRegimes(t *testing.T) {
+	m := DefaultModel()
+	if got := m.FadeSigma(10); got != 0 {
+		t.Errorf("near fade sigma = %v, want 0", got)
+	}
+	if got := m.FadeSigma(40); got != 0 {
+		t.Errorf("fade sigma at boundary = %v, want 0", got)
+	}
+	if got := m.FadeSigma(80); got <= 0 {
+		t.Errorf("far fade sigma = %v, want > 0", got)
+	}
+	if m.FadeSigma(120) <= m.FadeSigma(80) {
+		t.Error("far fade sigma should grow with distance")
+	}
+	// The cap bounds fade growth.
+	if got := m.FadeSigma(10000); got != m.MaxSigmaDB {
+		t.Errorf("fade sigma at 10km = %v, want capped at %v", got, m.MaxSigmaDB)
+	}
+}
+
+func TestMaxPlausibleRSSIEnvelope(t *testing.T) {
+	m := DefaultModel()
+	rng := sim.NewRNG(99).Stream("envelope")
+	for _, d := range []float64{5, 40, 80, 160} {
+		env := m.MaxPlausibleRSSI(d)
+		for i := 0; i < 5000; i++ {
+			if got := m.SampleRSSI(d, rng); got > env {
+				t.Fatalf("sample %v at d=%v exceeds envelope %v", got, d, env)
+			}
+		}
+	}
+}
+
+// Near-regime samples must look Gaussian around the mean; far-regime samples
+// must show negative skew from deep fades (the Figure 1(b) effect).
+func TestSampleRSSINoiseStructure(t *testing.T) {
+	m := DefaultModel()
+	rng := sim.NewRNG(42).Stream("radio-test")
+
+	const n = 30000
+	near := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		near = append(near, m.SampleRSSI(20, rng))
+	}
+	mean, std, skew := moments(near)
+	if math.Abs(mean-m.MeanRSSI(20)) > 0.1 {
+		t.Errorf("near mean = %v, want ~%v", mean, m.MeanRSSI(20))
+	}
+	if math.Abs(std-m.ShadowSigmaDB) > 0.15 {
+		t.Errorf("near std = %v, want ~%v", std, m.ShadowSigmaDB)
+	}
+	if math.Abs(skew) > 0.1 {
+		t.Errorf("near skew = %v, want ~0 (Gaussian)", skew)
+	}
+
+	// Widen the ADC clamp so the test observes the channel itself rather
+	// than the card's reporting floor.
+	wide := m
+	wide.MinRSSIDBm = -200
+	far := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		far = append(far, wide.SampleRSSI(80, rng))
+	}
+	_, _, farSkew := moments(far)
+	if farSkew > -0.2 {
+		t.Errorf("far skew = %v, want clearly negative (deep fades)", farSkew)
+	}
+}
+
+func moments(xs []float64) (mean, std, skew float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	std = math.Sqrt(m2)
+	skew = m3 / math.Pow(m2, 1.5)
+	return mean, std, skew
+}
+
+func TestClampRSSI(t *testing.T) {
+	m := DefaultModel()
+	if got := m.ClampRSSI(-200); got != m.MinRSSIDBm {
+		t.Errorf("ClampRSSI(-200) = %v", got)
+	}
+	if got := m.ClampRSSI(0); got != m.MaxRSSIDBm {
+		t.Errorf("ClampRSSI(0) = %v", got)
+	}
+	if got := m.ClampRSSI(-60); got != -60 {
+		t.Errorf("ClampRSSI(-60) = %v", got)
+	}
+}
+
+func TestDecodable(t *testing.T) {
+	m := DefaultModel()
+	if !m.Decodable(m.SensitivityDBm) {
+		t.Error("frame exactly at sensitivity must decode")
+	}
+	if m.Decodable(m.SensitivityDBm - 0.1) {
+		t.Error("frame below sensitivity must not decode")
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	m := DefaultModel()
+	// A 250-byte frame at 2 Mbps takes 1 ms.
+	if got := m.Airtime(250); math.Abs(got-0.001) > 1e-12 {
+		t.Errorf("Airtime(250B) = %v s, want 0.001", got)
+	}
+	if got := m.Airtime(0); got != 0 {
+		t.Errorf("Airtime(0) = %v, want 0", got)
+	}
+}
+
+func TestPropagationDelayTiny(t *testing.T) {
+	d := PropagationDelay(200)
+	if d <= 0 || d > 1e-5 {
+		t.Errorf("PropagationDelay(200m) = %v, want sub-10us positive", d)
+	}
+}
+
+// Property: sampled RSSI is always within the clamp range.
+func TestSampleAlwaysClamped(t *testing.T) {
+	m := DefaultModel()
+	rng := sim.NewRNG(7).Stream("clamp")
+	f := func(raw uint16) bool {
+		d := 0.5 + float64(raw)/200 // up to ~328 m
+		r := m.SampleRSSI(d, rng)
+		return r >= m.MinRSSIDBm && r <= m.MaxRSSIDBm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distance inversion is monotone: weaker RSSI, larger distance.
+func TestDistanceForRSSIMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint8) bool {
+		r1 := -30 - float64(a%70)
+		r2 := -30 - float64(b%70)
+		if r1 == r2 {
+			return true
+		}
+		if r1 > r2 {
+			r1, r2 = r2, r1 // r1 weaker
+		}
+		return m.DistanceForRSSI(r1) > m.DistanceForRSSI(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"cocoa/internal/cocoa"
+	"cocoa/internal/coopos"
+)
+
+// BaselineRow compares localization systems on the same deployment scale.
+// MobilityDutyPct is the fraction of time a robot is free to pursue its
+// task: Cooperative Positioning parks half the team as landmarks at any
+// moment, a cost CoCoA does not pay.
+type BaselineRow struct {
+	System          string
+	MeanErrorM      float64
+	FinalErrorM     float64
+	MobilityDutyPct float64
+	EquippedRobots  int
+}
+
+// RunBaselineCoopPos compares CoCoA against the Cooperative Positioning
+// baseline (Kurazume et al., the paper's related-work Section 5) and the
+// odometry-only floor, all at the same team size and duration.
+func RunBaselineCoopPos(opts Options) ([]BaselineRow, error) {
+	var out []BaselineRow
+
+	// CoCoA, the paper's default setup.
+	cocoaCfg := cocoa.DefaultConfig()
+	opts.apply(&cocoaCfg)
+	cocoaRes, err := cocoa.Run(cocoaCfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BaselineRow{
+		System:          "cocoa",
+		MeanErrorM:      cocoaRes.MeanError(),
+		FinalErrorM:     cocoaRes.AvgError[len(cocoaRes.AvgError)-1],
+		MobilityDutyPct: 100,
+		EquippedRobots:  cocoaCfg.NumEquipped,
+	})
+
+	// Cooperative Positioning: no localization devices at all; half the
+	// team is parked as landmarks at any instant.
+	cpCfg := coopos.DefaultConfig()
+	cpCfg.Seed = opts.seed()
+	cpCfg.NumRobots = cocoaCfg.NumRobots
+	cpCfg.VMax = cocoaCfg.VMax
+	cpCfg.DurationS = cocoaCfg.DurationS
+	cpCfg.GridCellM = cocoaCfg.GridCellM
+	cpCfg.Calibration = cocoaCfg.Calibration
+	cpRes, err := coopos.Run(cpCfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BaselineRow{
+		System:          "cooperative-positioning",
+		MeanErrorM:      cpRes.MeanError(),
+		FinalErrorM:     cpRes.FinalError(),
+		MobilityDutyPct: 50,
+		EquippedRobots:  0,
+	})
+
+	// Odometry-only floor.
+	odoCfg := cocoa.DefaultConfig()
+	odoCfg.Mode = cocoa.ModeOdometryOnly
+	opts.apply(&odoCfg)
+	odoRes, err := cocoa.Run(odoCfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BaselineRow{
+		System:          "odometry-only",
+		MeanErrorM:      odoRes.MeanError(),
+		FinalErrorM:     odoRes.AvgError[len(odoRes.AvgError)-1],
+		MobilityDutyPct: 100,
+		EquippedRobots:  0,
+	})
+	return out, nil
+}

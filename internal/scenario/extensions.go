@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"cocoa/internal/cocoa"
+)
+
+// AblationLocalizerRow compares RF estimation backends (DESIGN.md §5 and
+// the paper's claim that CoCoA is not tied to one localization technique).
+type AblationLocalizerRow struct {
+	Backend    string
+	MeanErrorM float64
+	FixRate    float64
+}
+
+// RunAblationLocalizer runs the same deployment with the paper's grid
+// estimator, with Monte Carlo localization, and with an EKF.
+func RunAblationLocalizer(opts Options) ([]AblationLocalizerRow, error) {
+	var out []AblationLocalizerRow
+	for _, kind := range []cocoa.LocalizerKind{cocoa.LocalizerGrid, cocoa.LocalizerParticle, cocoa.LocalizerEKF} {
+		cfg := cocoa.DefaultConfig()
+		cfg.Localizer = kind
+		opts.apply(&cfg)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationLocalizerRow{
+			Backend:    kind.String(),
+			MeanErrorM: res.MeanError(),
+			FixRate:    res.FixRate(),
+		})
+	}
+	return out, nil
+}
+
+// PowerControlRow is one transmit-power outcome of the paper's future-work
+// question: "how transmission power control can be used to increase the
+// distance that nodes in the CoCoA architecture can cooperate".
+type PowerControlRow struct {
+	TxPowerDBm  float64
+	MeanRangeM  float64
+	MeanErrorM  float64
+	FixRate     float64
+	EnergyJ     float64
+	BeaconsUsed int
+}
+
+// RunExtensionPowerControl sweeps the beacon transmit power in a
+// coverage-limited deployment (few equipped robots), where range directly
+// controls how many robots can cooperate.
+func RunExtensionPowerControl(opts Options) ([]PowerControlRow, error) {
+	var out []PowerControlRow
+	for _, tx := range []float64{9, 12, 15, 18} {
+		cfg := cocoa.DefaultConfig()
+		cfg.NumEquipped = 5
+		cfg.Radio.TxPowerDBm = tx
+		opts.apply(&cfg)
+		if opts.NumRobots > 0 {
+			cfg.NumEquipped = 5 * cfg.NumRobots / 50
+			if cfg.NumEquipped < 1 {
+				cfg.NumEquipped = 1
+			}
+		}
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PowerControlRow{
+			TxPowerDBm:  tx,
+			MeanRangeM:  cfg.Radio.MeanRange(),
+			MeanErrorM:  res.MeanError(),
+			FixRate:     res.FixRate(),
+			EnergyJ:     res.TotalEnergyJ,
+			BeaconsUsed: res.BeaconsApplied,
+		})
+	}
+	return out, nil
+}
+
+// ClockSkewRow quantifies the value of the MRMM SYNC machinery under
+// imperfect clocks.
+type ClockSkewRow struct {
+	DriftSigmaS float64
+	SyncEnabled bool
+	MeanErrorM  float64
+	FixRate     float64
+	MissedPkts  int
+}
+
+// RunExtensionClockSkew sweeps per-period clock drift with and without
+// SYNC dissemination. Without SYNC the robots rely on a preprogrammed
+// schedule, so their windows slide off the Sync robot's time base and
+// beacons land on sleeping radios.
+func RunExtensionClockSkew(opts Options) ([]ClockSkewRow, error) {
+	var out []ClockSkewRow
+	for _, drift := range []float64{0, 0.5, 1.5} {
+		for _, syncOn := range []bool{true, false} {
+			cfg := cocoa.DefaultConfig()
+			cfg.ClockDriftSigmaS = drift
+			cfg.DisableSync = !syncOn
+			opts.apply(&cfg)
+			res, err := cocoa.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ClockSkewRow{
+				DriftSigmaS: drift,
+				SyncEnabled: syncOn,
+				MeanErrorM:  res.MeanError(),
+				FixRate:     res.FixRate(),
+				MissedPkts:  res.MAC.MissedAsleep,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ReportingRow measures the controller-reporting data path at one beacon
+// period: how reliably localized robots can unicast status reports to the
+// Sync robot over their own CoCoA coordinates.
+type ReportingRow struct {
+	PeriodS      float64
+	DeliveryRate float64
+	MeanHops     float64
+	ReportsSent  int
+	MeanErrorM   float64
+}
+
+// RunExtensionReporting exercises the paper-conclusion application: with
+// EnableReporting on, every localized unequipped robot sends one report
+// per window toward the Sync robot by greedy geographic forwarding.
+func RunExtensionReporting(opts Options) ([]ReportingRow, error) {
+	var out []ReportingRow
+	for _, T := range []float64{50, 100} {
+		cfg := cocoa.DefaultConfig()
+		cfg.EnableReporting = true
+		cfg.BeaconPeriodS = T
+		opts.apply(&cfg)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := ReportingRow{
+			PeriodS:      T,
+			DeliveryRate: res.ReportDeliveryRate(),
+			ReportsSent:  res.ReportsSent,
+			MeanErrorM:   res.MeanError(),
+		}
+		if res.ReportsDelivered > 0 {
+			row.MeanHops = float64(res.ReportHopsTotal) / float64(res.ReportsDelivered)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"math"
+
+	"cocoa/internal/cocoa"
+)
+
+// FailureRow is one failure-injection outcome: the configured number of
+// equipped robots die a third of the way into the run.
+type FailureRow struct {
+	FailedEquipped int
+	MeanBeforeM    float64
+	MeanAfterM     float64
+	FixRate        float64
+}
+
+// RunFailureInjection kills growing numbers of equipped robots mid-run —
+// the paper's search-and-rescue setting makes anchor loss a first-class
+// concern. CoCoA should degrade gracefully: survivors keep beaconing and
+// accuracy settles at the level of the reduced anchor set (Figure 10's
+// curve, reached dynamically).
+func RunFailureInjection(opts Options) ([]FailureRow, error) {
+	var out []FailureRow
+	for _, frac := range []float64{0, 0.4, 0.8} {
+		cfg := cocoa.DefaultConfig()
+		opts.apply(&cfg)
+		cfg.FailEquippedCount = int(frac * float64(cfg.NumEquipped))
+		cfg.FailAtS = cfg.DurationS / 3
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		failAt := float64(cfg.FailAtS)
+		settle := failAt + float64(cfg.BeaconPeriodS)
+		var before, after float64
+		nb, na := 0, 0
+		for i, t := range res.Times {
+			switch {
+			case t < failAt:
+				before += res.AvgError[i]
+				nb++
+			case t > settle:
+				after += res.AvgError[i]
+				na++
+			}
+		}
+		row := FailureRow{FailedEquipped: cfg.FailEquippedCount, FixRate: res.FixRate()}
+		if nb > 0 {
+			row.MeanBeforeM = before / float64(nb)
+		}
+		if na > 0 {
+			row.MeanAfterM = after / float64(na)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Replication holds cross-seed statistics of the headline metric,
+// quantifying the run-to-run variance a single-seed figure hides.
+type Replication struct {
+	Seeds      int
+	MeanErrorM float64 // mean of per-seed means
+	StdErrorM  float64 // std of per-seed means
+	MinM       float64
+	MaxM       float64
+}
+
+// RunReplication repeats the default CoCoA deployment across seeds.
+func RunReplication(opts Options, seeds int) (Replication, error) {
+	if seeds <= 0 {
+		seeds = 5
+	}
+	vals := make([]float64, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		cfg := cocoa.DefaultConfig()
+		opts.apply(&cfg)
+		cfg.Seed = opts.seed() + int64(s)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return Replication{}, err
+		}
+		vals = append(vals, res.MeanError())
+	}
+	rep := Replication{Seeds: seeds, MinM: math.Inf(1), MaxM: math.Inf(-1)}
+	for _, v := range vals {
+		rep.MeanErrorM += v
+		rep.MinM = math.Min(rep.MinM, v)
+		rep.MaxM = math.Max(rep.MaxM, v)
+	}
+	rep.MeanErrorM /= float64(seeds)
+	var m2 float64
+	for _, v := range vals {
+		d := v - rep.MeanErrorM
+		m2 += d * d
+	}
+	if seeds > 1 {
+		rep.StdErrorM = math.Sqrt(m2 / float64(seeds-1))
+	}
+	return rep, nil
+}
+
+// TerrainRow compares smooth and rough ground for one localization mode.
+type TerrainRow struct {
+	Mode       string
+	Amplitude  float64
+	MeanErrorM float64
+	FinalM     float64
+}
+
+// RunExtensionTerrain quantifies the paper's introduction claim that
+// uneven surfaces exacerbate odometry error — and that CoCoA's periodic
+// RF fixes neutralize it: odometry-only degrades with terrain roughness,
+// CoCoA barely moves.
+func RunExtensionTerrain(opts Options) ([]TerrainRow, error) {
+	var out []TerrainRow
+	for _, mode := range []cocoa.Mode{cocoa.ModeOdometryOnly, cocoa.ModeCombined} {
+		for _, amp := range []float64{0, 3} {
+			cfg := cocoa.DefaultConfig()
+			cfg.Mode = mode
+			cfg.TerrainAmplitude = amp
+			opts.apply(&cfg)
+			res, err := cocoa.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, TerrainRow{
+				Mode:       mode.String(),
+				Amplitude:  amp,
+				MeanErrorM: res.MeanError(),
+				FinalM:     res.AvgError[len(res.AvgError)-1],
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,625 @@
+// Package scenario reproduces every figure of the paper's evaluation
+// (Section 4). Each RunFigN function runs the exact workload the paper
+// describes and returns the series/statistics the corresponding figure
+// plots; cmd/cocoaexp renders them and EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// All runners accept Options so benchmarks can run shortened versions; the
+// zero Options value reproduces the paper's full-scale setup (50 robots,
+// 40000 m^2, 30 minutes).
+package scenario
+
+import (
+	"fmt"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/cocoa"
+	"cocoa/internal/geom"
+	"cocoa/internal/metrics"
+	"cocoa/internal/mobility"
+	"cocoa/internal/odometry"
+	"cocoa/internal/radio"
+	"cocoa/internal/sim"
+)
+
+// Options scales a scenario without changing its structure.
+type Options struct {
+	// Seed for the whole experiment; 0 means 1.
+	Seed int64
+	// DurationS overrides the paper's 1800 s run length; 0 keeps it.
+	DurationS sim.Time
+	// NumRobots overrides the paper's 50-robot team; 0 keeps it. The
+	// equipped count scales proportionally where a figure doesn't sweep it.
+	NumRobots int
+	// CalibrationSamples overrides the Monte-Carlo calibration effort.
+	CalibrationSamples int
+	// GridCellM overrides the Bayesian grid resolution.
+	GridCellM float64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// apply rescales a paper-default config.
+func (o Options) apply(cfg *cocoa.Config) {
+	cfg.Seed = o.seed()
+	if o.DurationS > 0 {
+		cfg.DurationS = o.DurationS
+	}
+	if o.NumRobots > 0 {
+		ratio := float64(cfg.NumEquipped) / float64(cfg.NumRobots)
+		cfg.NumRobots = o.NumRobots
+		cfg.NumEquipped = int(ratio*float64(o.NumRobots) + 0.5)
+		if cfg.NumEquipped < 1 {
+			cfg.NumEquipped = 1
+		}
+	}
+	if o.CalibrationSamples > 0 {
+		cfg.Calibration.Samples = o.CalibrationSamples
+	}
+	if o.GridCellM > 0 {
+		cfg.GridCellM = o.GridCellM
+	}
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	Times  []float64
+	Values []float64
+}
+
+// Mean returns the curve's time-averaged value.
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Max returns the curve's maximum value.
+func (s Series) Max() float64 {
+	var m float64
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// seriesFrom converts a run result into a labeled curve.
+func seriesFrom(label string, res *cocoa.Result) Series {
+	return Series{Label: label, Times: res.Times, Values: res.AvgError}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 — calibration PDFs
+// ---------------------------------------------------------------------------
+
+// PDFCurve samples a calibrated distance PDF for plotting.
+type PDFCurve struct {
+	RSSIDBm    float64
+	IsGaussian bool
+	MeanDist   float64
+	Dists      []float64
+	Densities  []float64
+}
+
+// Fig1Result reproduces Figure 1: the distance PDF at a strong RSSI
+// (Gaussian regime) and at a weak one (multipath regime).
+type Fig1Result struct {
+	Strong PDFCurve // paper: -52 dBm, Gaussian
+	Weak   PDFCurve // paper: -86 dBm, non-Gaussian
+}
+
+// RunFig1 performs the offline calibration and extracts the two PDFs the
+// paper plots.
+func RunFig1(opts Options) (*Fig1Result, error) {
+	model := radio.DefaultModel()
+	calOpts := caltable.DefaultOptions()
+	if opts.CalibrationSamples > 0 {
+		calOpts.Samples = opts.CalibrationSamples
+	}
+	table, err := caltable.Calibrate(model, calOpts, sim.NewRNG(opts.seed()).Stream("calibration"))
+	if err != nil {
+		return nil, err
+	}
+	strong, err := sampleCurve(table, -52)
+	if err != nil {
+		return nil, err
+	}
+	weak, err := sampleCurve(table, -86)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1Result{Strong: *strong, Weak: *weak}, nil
+}
+
+func sampleCurve(table *caltable.Table, rssi float64) (*PDFCurve, error) {
+	pdf, ok := table.Lookup(rssi)
+	if !ok {
+		return nil, fmt.Errorf("scenario: RSSI %v dBm not calibrated", rssi)
+	}
+	c := &PDFCurve{RSSIDBm: rssi, IsGaussian: pdf.IsGaussian(), MeanDist: pdf.Mean()}
+	for d := 0.0; d <= table.MaxDist(); d += 0.5 {
+		c.Dists = append(c.Dists, d)
+		c.Densities = append(c.Densities, pdf.Density(d))
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — localization error over time using only odometry
+// ---------------------------------------------------------------------------
+
+// RunFig4 reproduces Figure 4: odometry-only average error over time for
+// maximum speeds 0.5 and 2.0 m/s.
+func RunFig4(opts Options) ([]Series, error) {
+	var out []Series
+	for _, vmax := range []float64{0.5, 2.0} {
+		cfg := cocoa.DefaultConfig()
+		cfg.Mode = cocoa.ModeOdometryOnly
+		cfg.VMax = vmax
+		opts.apply(&cfg)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seriesFrom(fmt.Sprintf("vmax=%.1fm/s", vmax), res))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — an example of odometry error
+// ---------------------------------------------------------------------------
+
+// Fig5Result is a single robot's true and odometry-estimated paths.
+type Fig5Result struct {
+	True      []geom.Vec2
+	Estimated []geom.Vec2
+	FinalGapM float64
+}
+
+// RunFig5 reproduces Figure 5's illustration: one robot's real path versus
+// the path its odometer believes it followed.
+func RunFig5(opts Options) (*Fig5Result, error) {
+	root := sim.NewRNG(opts.seed())
+	dur := 600.0
+	if opts.DurationS > 0 {
+		dur = float64(opts.DurationS)
+	}
+	way, err := mobility.NewWaypoint(mobility.DefaultConfig(2.0), root.Stream("mobility"))
+	if err != nil {
+		return nil, err
+	}
+	start := way.Position(0)
+	reck, err := odometry.NewDeadReckoner(odometry.DefaultConfig(), root.Stream("odometry"), start)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{True: []geom.Vec2{start}, Estimated: []geom.Vec2{start}}
+	prev := start
+	for now := 1.0; now <= dur; now++ {
+		cur := way.Position(now)
+		reck.Step(cur.Sub(prev), 1)
+		prev = cur
+		res.True = append(res.True, cur)
+		res.Estimated = append(res.Estimated, reck.Estimate())
+	}
+	res.FinalGapM = prev.Dist(reck.Estimate())
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — RF localization alone, beacon-period sweep
+// ---------------------------------------------------------------------------
+
+// BeaconPeriods is the paper's T sweep (Figures 6 and 9).
+var BeaconPeriods = []sim.Time{10, 50, 100, 300}
+
+// RunFig6 reproduces Figure 6: RF-only localization error over time for
+// each beacon period T.
+func RunFig6(opts Options) ([]Series, error) {
+	var out []Series
+	for _, T := range BeaconPeriods {
+		cfg := cocoa.DefaultConfig()
+		cfg.Mode = cocoa.ModeRFOnly
+		cfg.BeaconPeriodS = T
+		opts.apply(&cfg)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seriesFrom(fmt.Sprintf("T=%.0fs", T), res))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — CoCoA vs odometry-only vs RF-only
+// ---------------------------------------------------------------------------
+
+// Fig7Result compares the three approaches at T = 100 s for one speed.
+type Fig7Result struct {
+	VMax     float64
+	Odometry Series
+	RFOnly   Series
+	CoCoA    Series
+}
+
+// RunFig7 reproduces Figures 7(a) and 7(b): the three approaches at the
+// paper's two maximum speeds.
+func RunFig7(opts Options) ([]Fig7Result, error) {
+	var out []Fig7Result
+	for _, vmax := range []float64{0.5, 2.0} {
+		r := Fig7Result{VMax: vmax}
+		for _, mode := range []cocoa.Mode{cocoa.ModeOdometryOnly, cocoa.ModeRFOnly, cocoa.ModeCombined} {
+			cfg := cocoa.DefaultConfig()
+			cfg.Mode = mode
+			cfg.VMax = vmax
+			cfg.BeaconPeriodS = 100
+			opts.apply(&cfg)
+			res, err := cocoa.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s := seriesFrom(mode.String(), res)
+			switch mode {
+			case cocoa.ModeOdometryOnly:
+				r.Odometry = s
+			case cocoa.ModeRFOnly:
+				r.RFOnly = s
+			default:
+				r.CoCoA = s
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — CDF of the localization error at three time instances
+// ---------------------------------------------------------------------------
+
+// CDFSnapshot is the error CDF at one instant.
+type CDFSnapshot struct {
+	Label  string
+	TimeS  float64
+	Errors []float64
+	Probs  []float64
+	P90    float64
+}
+
+// RunFig8 reproduces Figure 8: CoCoA error CDFs (T = 100 s) at the end of
+// a beacon period, right after a transmit period, and mid-sleep.
+func RunFig8(opts Options) ([]CDFSnapshot, error) {
+	cfg := cocoa.DefaultConfig()
+	cfg.BeaconPeriodS = 100
+	opts.apply(&cfg)
+	res, err := cocoa.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pick a window boundary w in the back half of the run, mirroring the
+	// paper's choice of t=804s for a 1800s run (w=800, after the window
+	// at 800..803).
+	T := float64(cfg.BeaconPeriodS)
+	tw := float64(cfg.TransmitPeriodS)
+	w := T * float64(int(float64(cfg.DurationS)*0.45/T))
+	if w < T {
+		w = T
+	}
+	instants := []struct {
+		label string
+		at    float64
+	}{
+		{"end of beacon period", w - 1},
+		{"end of transmit period", w + tw + 1},
+		{"mid sleep (T/2 later)", w + tw + T/2},
+	}
+	var out []CDFSnapshot
+	for _, inst := range instants {
+		cdf, err := res.ErrorCDFAt(inst.at)
+		if err != nil {
+			return nil, err
+		}
+		xs, ps := cdf.Points()
+		out = append(out, CDFSnapshot{
+			Label:  inst.label,
+			TimeS:  inst.at,
+			Errors: xs,
+			Probs:  ps,
+			P90:    cdf.Quantile(0.9),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — impact of beacon period on error and energy
+// ---------------------------------------------------------------------------
+
+// Fig9Row is one beacon period's error and energy outcome.
+type Fig9Row struct {
+	PeriodS          float64
+	ErrorSeries      Series
+	MeanErrorM       float64
+	MaxAvgErrorM     float64
+	CoordEnergyJ     float64
+	NoCoordEnergyJ   float64
+	SavingsRatio     float64
+	FixRate          float64
+	MissedAsleepPkts int
+}
+
+// RunFig9 reproduces Figures 9(a) and 9(b): CoCoA error over time and team
+// energy with/without coordination across the T sweep.
+func RunFig9(opts Options) ([]Fig9Row, error) {
+	var out []Fig9Row
+	for _, T := range BeaconPeriods {
+		cfg := cocoa.DefaultConfig()
+		cfg.BeaconPeriodS = T
+		opts.apply(&cfg)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig9Row{
+			PeriodS:          float64(T),
+			ErrorSeries:      seriesFrom(fmt.Sprintf("T=%.0fs", T), res),
+			MeanErrorM:       res.MeanError(),
+			MaxAvgErrorM:     res.MaxAvgError(),
+			CoordEnergyJ:     res.TotalEnergyJ,
+			NoCoordEnergyJ:   res.NoSleepEnergyJ,
+			SavingsRatio:     res.EnergySavings(),
+			FixRate:          res.FixRate(),
+			MissedAsleepPkts: res.MAC.MissedAsleep,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — impact of the number of localization devices
+// ---------------------------------------------------------------------------
+
+// EquippedCounts is the paper's device sweep.
+var EquippedCounts = []int{5, 15, 25, 35}
+
+// Fig10Row is one equipped-count outcome.
+type Fig10Row struct {
+	Equipped     int
+	MeanErrorM   float64
+	MaxAvgErrorM float64
+	FixRate      float64
+	P90ErrorM    float64
+}
+
+// RunFig10 reproduces Figure 10: CoCoA localization error as the number of
+// equipped robots varies, T = 100 s.
+func RunFig10(opts Options) ([]Fig10Row, error) {
+	var out []Fig10Row
+	for _, n := range EquippedCounts {
+		cfg := cocoa.DefaultConfig()
+		cfg.BeaconPeriodS = 100
+		cfg.NumEquipped = n
+		opts.apply(&cfg)
+		if opts.NumRobots > 0 {
+			// Preserve the sweep's absolute counts when the team shrinks:
+			// scale the equipped count by the same ratio.
+			cfg.NumEquipped = n * cfg.NumRobots / 50
+			if cfg.NumEquipped < 1 {
+				cfg.NumEquipped = 1
+			}
+		}
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var p90 float64
+		if cdf, err := res.ErrorCDFAt(float64(cfg.DurationS) * 0.9); err == nil {
+			p90 = cdf.Quantile(0.9)
+		}
+		out = append(out, Fig10Row{
+			Equipped:     cfg.NumEquipped,
+			MeanErrorM:   res.MeanError(),
+			MaxAvgErrorM: res.MaxAvgError(),
+			FixRate:      res.FixRate(),
+			P90ErrorM:    p90,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Extensions and ablations (DESIGN.md Section 5)
+// ---------------------------------------------------------------------------
+
+// ExtensionRow compares CoCoA with and without the future-work secondary
+// beaconing, at a given equipped count.
+type ExtensionRow struct {
+	Equipped          int
+	BaselineMeanM     float64
+	SecondaryMeanM    float64
+	BaselineFixRate   float64
+	SecondaryFixRate  float64
+	ExtraBeaconsOnAir int
+}
+
+// RunExtensionSecondary evaluates the paper's Section 6 idea: localized
+// unequipped robots also beacon. The interesting regime is few equipped
+// robots, where coverage gaps make extra (noisier) anchors worthwhile.
+func RunExtensionSecondary(opts Options) ([]ExtensionRow, error) {
+	counts := []int{5, 15}
+	var out []ExtensionRow
+	for _, n := range counts {
+		row := ExtensionRow{Equipped: n}
+		for _, secondary := range []bool{false, true} {
+			cfg := cocoa.DefaultConfig()
+			cfg.BeaconPeriodS = 100
+			cfg.NumEquipped = n
+			cfg.SecondaryBeacons = secondary
+			opts.apply(&cfg)
+			if opts.NumRobots > 0 {
+				cfg.NumEquipped = n * cfg.NumRobots / 50
+				if cfg.NumEquipped < 1 {
+					cfg.NumEquipped = 1
+				}
+			}
+			res, err := cocoa.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if secondary {
+				row.SecondaryMeanM = res.MeanError()
+				row.SecondaryFixRate = res.FixRate()
+				row.ExtraBeaconsOnAir = res.MAC.Sent
+			} else {
+				row.BaselineMeanM = res.MeanError()
+				row.BaselineFixRate = res.FixRate()
+				row.ExtraBeaconsOnAir -= res.MAC.Sent
+			}
+			row.Equipped = cfg.NumEquipped
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// AblationPruningRow compares MRMM pruning against plain ODMRP.
+type AblationPruningRow struct {
+	Pruning       bool
+	DataSent      int
+	DataDelivered int
+	QueriesSent   int
+	Forwarders    int
+	SyncsReceived int
+	MeanErrorM    float64
+}
+
+// RunAblationPruning measures SYNC dissemination cost with MRMM's
+// mobility-aware pruning versus plain ODMRP upstream selection.
+func RunAblationPruning(opts Options) ([]AblationPruningRow, error) {
+	var out []AblationPruningRow
+	for _, pruning := range []bool{true, false} {
+		cfg := cocoa.DefaultConfig()
+		cfg.MRMMPruning = pruning
+		opts.apply(&cfg)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPruningRow{
+			Pruning:       pruning,
+			DataSent:      res.MRMM.DataSent,
+			DataDelivered: res.MRMM.DataDelivered,
+			QueriesSent:   res.MRMM.QueriesSent,
+			Forwarders:    res.MRMM.BecameForwarder,
+			SyncsReceived: res.SyncsReceived,
+			MeanErrorM:    res.MeanError(),
+		})
+	}
+	return out, nil
+}
+
+// AblationKRow measures the beacon-redundancy tradeoff.
+type AblationKRow struct {
+	K            int
+	MeanErrorM   float64
+	FixRate      float64
+	CoordEnergyJ float64
+	BeaconsSent  int
+}
+
+// RunAblationK sweeps the per-window beacon count k in {1, 3, 5}: the
+// paper fixes k=3 "for reliability"; this quantifies the choice.
+func RunAblationK(opts Options) ([]AblationKRow, error) {
+	var out []AblationKRow
+	for _, k := range []int{1, 3, 5} {
+		cfg := cocoa.DefaultConfig()
+		cfg.BeaconsPerWindow = k
+		opts.apply(&cfg)
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationKRow{
+			K:            k,
+			MeanErrorM:   res.MeanError(),
+			FixRate:      res.FixRate(),
+			CoordEnergyJ: res.TotalEnergyJ,
+			BeaconsSent:  res.MAC.Sent,
+		})
+	}
+	return out, nil
+}
+
+// AblationGridRow measures the grid-resolution accuracy/cost tradeoff.
+type AblationGridRow struct {
+	CellM      float64
+	MeanErrorM float64
+	WallSenseN int // grid cells, a proxy for per-beacon CPU cost
+}
+
+// RunAblationGrid sweeps the Bayesian grid resolution.
+func RunAblationGrid(opts Options) ([]AblationGridRow, error) {
+	var out []AblationGridRow
+	for _, cell := range []float64{1, 2, 4, 8} {
+		cfg := cocoa.DefaultConfig()
+		cfg.GridCellM = cell
+		opts.apply(&cfg)
+		cfg.GridCellM = cell // opts may override; the sweep wins
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nx := int(cfg.Area.Width() / cell)
+		ny := int(cfg.Area.Height() / cell)
+		out = append(out, AblationGridRow{
+			CellM:      cell,
+			MeanErrorM: res.MeanError(),
+			WallSenseN: nx * ny,
+		})
+	}
+	return out, nil
+}
+
+// SteadyStateMean averages a curve past the warm-up prefix (the first
+// beacon period), isolating the paper's "average error over time" from the
+// cold-start transient.
+func SteadyStateMean(s Series, warmupS float64) float64 {
+	var sum float64
+	n := 0
+	for i, t := range s.Times {
+		if t >= warmupS {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SummarizeTail returns summary statistics of a curve past warmupS.
+func SummarizeTail(s Series, warmupS float64) metrics.Summary {
+	var tail []float64
+	for i, t := range s.Times {
+		if t >= warmupS {
+			tail = append(tail, s.Values[i])
+		}
+	}
+	return metrics.Summarize(tail)
+}

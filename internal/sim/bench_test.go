@@ -1,0 +1,19 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventLoop measures raw schedule+dispatch throughput.
+func BenchmarkEventLoop(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(1, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	g := NewRNG(1).Stream("bench")
+	for i := 0; i < b.N; i++ {
+		_ = g.Normal(0, 1)
+	}
+}

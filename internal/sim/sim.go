@@ -1,0 +1,208 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// underlying the CoCoA reproduction. It plays the role Glomosim plays in the
+// paper: a virtual clock, an event calendar, and seeded random-number
+// streams so that an entire scenario is a pure function of (config, seed).
+//
+// Virtual time is expressed in float64 seconds, the convention of wireless
+// network simulators (ns-2, Glomosim), because the physics of the models
+// (speeds in m/s, power in W) are naturally continuous.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a point in virtual time, in seconds since the simulation start.
+type Time = float64
+
+// ErrNegativeDelay is returned (via panic recovery paths in callers) when an
+// event is scheduled in the past; the engine refuses to rewind the clock.
+var ErrNegativeDelay = errors.New("sim: event scheduled in the past")
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Simulator.Schedule or Simulator.At.
+type Event struct {
+	time     Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+	fn       func()
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() Time { return e.time }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue is a min-heap ordered by (time, seq). The sequence number makes
+// event ordering fully deterministic for simultaneous events: ties fire in
+// scheduling order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return // cannot happen: Push is only reached via heap.Push(*Event)
+	}
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event calendar.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// processed counts events executed, for diagnostics and tests.
+	processed uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of events waiting in the calendar, including
+// canceled events that have not yet been drained.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Schedule arranges for fn to run delay seconds from now. A zero delay runs
+// the event after all events already scheduled for the current instant.
+// It panics on negative delay: that is always a programming error in a
+// discrete-event model, never a recoverable runtime condition.
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v: %v", delay, ErrNegativeDelay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t (>= Now).
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: time %v before now %v: %v", t, s.now, ErrNegativeDelay))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. The calendar is preserved; Run may be called again.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when the calendar is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return false // cannot happen: the queue only holds *Event
+		}
+		if e.canceled {
+			continue
+		}
+		s.now = e.time
+		s.processed++
+		e.canceled = true // mark fired so Cancel after firing is a no-op
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the calendar empties or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= horizon, then sets the clock to the
+// horizon. Events scheduled beyond the horizon stay queued.
+func (s *Simulator) RunUntil(horizon Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 || s.queue[0].time > horizon {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// EachTick schedules fn to run every interval seconds starting at start,
+// until the returned stop function is called or the simulation ends. fn
+// receives the tick time. This is the engine-level building block for the
+// paper's per-second metric sampling and the beacon-period timeline.
+func (s *Simulator) EachTick(start, interval Time, fn func(t Time)) (stop func()) {
+	if interval <= 0 {
+		panic("sim: EachTick interval must be positive")
+	}
+	stopped := false
+	var schedule func(t Time)
+	schedule = func(t Time) {
+		s.At(t, func() {
+			if stopped {
+				return
+			}
+			fn(t)
+			if !stopped {
+				schedule(t + interval)
+			}
+		})
+	}
+	schedule(start)
+	return func() { stopped = true }
+}

@@ -1,0 +1,103 @@
+package terrain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0, 1); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := New(1, 25, -1); err == nil {
+		t.Error("negative amplitude accepted")
+	}
+	if _, err := New(1, 25, 0); err != nil {
+		t.Errorf("flat terrain rejected: %v", err)
+	}
+}
+
+func TestFlatTerrainIsOne(t *testing.T) {
+	f, err := New(1, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]float64{{0, 0}, {13.7, 99.2}, {-40, 250}} {
+		if got := f.RoughnessAt(p[0], p[1]); got != 1 {
+			t.Errorf("flat roughness at %v = %v, want 1", p, got)
+		}
+	}
+}
+
+func TestRoughnessRange(t *testing.T) {
+	f, err := New(7, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		r := f.RoughnessAt(math.Mod(x, 1e6), math.Mod(y, 1e6))
+		return r >= 1 && r <= 1+f.Amplitude()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(42, 25, 2)
+	b, _ := New(42, 25, 2)
+	for x := 0.0; x < 200; x += 7.3 {
+		if a.RoughnessAt(x, x*1.7) != b.RoughnessAt(x, x*1.7) {
+			t.Fatal("same-seed fields differ")
+		}
+	}
+	c, _ := New(43, 25, 2)
+	same := 0
+	for x := 0.0; x < 200; x += 7.3 {
+		if a.RoughnessAt(x, x*1.7) == c.RoughnessAt(x, x*1.7) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds look identical at %d points", same)
+	}
+}
+
+// The field must be smooth: nearby points have nearby roughness.
+func TestSmoothness(t *testing.T) {
+	f, _ := New(5, 25, 3)
+	var maxJump float64
+	for x := 0.0; x < 500; x += 0.5 {
+		a := f.RoughnessAt(x, 100)
+		b := f.RoughnessAt(x+0.5, 100)
+		if j := math.Abs(a - b); j > maxJump {
+			maxJump = j
+		}
+	}
+	// A 0.5 m step across 25 m features cannot jump more than a small
+	// fraction of the amplitude.
+	if maxJump > 0.3 {
+		t.Errorf("max 0.5m jump = %v, field not smooth", maxJump)
+	}
+}
+
+// The field must actually vary — a constant field would make the terrain
+// experiment vacuous.
+func TestVariation(t *testing.T) {
+	f, _ := New(5, 25, 3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for x := 0.0; x < 1000; x += 11 {
+		for y := 0.0; y < 1000; y += 13 {
+			r := f.RoughnessAt(x, y)
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r)
+		}
+	}
+	if hi-lo < 1.5 {
+		t.Errorf("field range [%v, %v] too flat for amplitude 3", lo, hi)
+	}
+}

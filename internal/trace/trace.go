@@ -1,0 +1,198 @@
+// Package trace serializes run results for external analysis: the
+// per-second error series as CSV (ready for gnuplot/pandas) and a stable
+// JSON summary schema for dashboards and regression tracking. Both formats
+// round-trip, so downstream tooling can be tested against this package.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cocoa/internal/cocoa"
+	"cocoa/internal/metrics"
+)
+
+// Summary is the stable JSON schema describing one run.
+type Summary struct {
+	Mode             string  `json:"mode"`
+	Localizer        string  `json:"localizer"`
+	NumRobots        int     `json:"numRobots"`
+	NumEquipped      int     `json:"numEquipped"`
+	VMaxMps          float64 `json:"vmaxMps"`
+	BeaconPeriodS    float64 `json:"beaconPeriodS"`
+	TransmitPeriodS  float64 `json:"transmitPeriodS"`
+	BeaconsPerWindow int     `json:"beaconsPerWindow"`
+	DurationS        float64 `json:"durationS"`
+	Seed             int64   `json:"seed"`
+	Coordinated      bool    `json:"coordinated"`
+
+	MeanErrorM     float64 `json:"meanErrorM"`
+	MaxAvgErrorM   float64 `json:"maxAvgErrorM"`
+	FixRate        float64 `json:"fixRate"`
+	Fixes          int     `json:"fixes"`
+	MissedWindows  int     `json:"missedWindows"`
+	BeaconsApplied int     `json:"beaconsApplied"`
+	SyncsReceived  int     `json:"syncsReceived"`
+
+	TotalEnergyJ   float64 `json:"totalEnergyJ"`
+	NoSleepEnergyJ float64 `json:"noSleepEnergyJ"`
+	EnergySavings  float64 `json:"energySavings"`
+
+	ReportsSent      int     `json:"reportsSent"`
+	ReportsDelivered int     `json:"reportsDelivered"`
+	ReportDelivery   float64 `json:"reportDelivery,omitempty"`
+
+	MACFramesSent    int `json:"macFramesSent"`
+	MACDelivered     int `json:"macDelivered"`
+	MACCollided      int `json:"macCollided"`
+	MACMissedAsleep  int `json:"macMissedAsleep"`
+	MRMMDataSent     int `json:"mrmmDataSent"`
+	MRMMForwarders   int `json:"mrmmForwarders"`
+	MRMMQueriesSent  int `json:"mrmmQueriesSent"`
+	MRMMDataDelivers int `json:"mrmmDataDelivers"`
+}
+
+// Summarize extracts the stable summary from a run result.
+func Summarize(res *cocoa.Result) Summary {
+	cfg := res.Config
+	return Summary{
+		Mode:             cfg.Mode.String(),
+		Localizer:        cfg.Localizer.String(),
+		NumRobots:        cfg.NumRobots,
+		NumEquipped:      cfg.NumEquipped,
+		VMaxMps:          cfg.VMax,
+		BeaconPeriodS:    float64(cfg.BeaconPeriodS),
+		TransmitPeriodS:  float64(cfg.TransmitPeriodS),
+		BeaconsPerWindow: cfg.BeaconsPerWindow,
+		DurationS:        float64(cfg.DurationS),
+		Seed:             cfg.Seed,
+		Coordinated:      cfg.Coordinated,
+
+		MeanErrorM:     res.MeanError(),
+		MaxAvgErrorM:   res.MaxAvgError(),
+		FixRate:        res.FixRate(),
+		Fixes:          res.Fixes,
+		MissedWindows:  res.MissedWindows,
+		BeaconsApplied: res.BeaconsApplied,
+		SyncsReceived:  res.SyncsReceived,
+
+		TotalEnergyJ:   res.TotalEnergyJ,
+		NoSleepEnergyJ: res.NoSleepEnergyJ,
+		EnergySavings:  res.EnergySavings(),
+
+		ReportsSent:      res.ReportsSent,
+		ReportsDelivered: res.ReportsDelivered,
+		ReportDelivery:   reportDelivery(res),
+
+		MACFramesSent:    res.MAC.Sent,
+		MACDelivered:     res.MAC.Delivered,
+		MACCollided:      res.MAC.Collided,
+		MACMissedAsleep:  res.MAC.MissedAsleep,
+		MRMMDataSent:     res.MRMM.DataSent,
+		MRMMForwarders:   res.MRMM.BecameForwarder,
+		MRMMQueriesSent:  res.MRMM.QueriesSent,
+		MRMMDataDelivers: res.MRMM.DataDelivered,
+	}
+}
+
+// reportDelivery returns the delivery rate, or 0 when reporting was off
+// (the JSON field is omitted in that case).
+func reportDelivery(res *cocoa.Result) float64 {
+	if res.ReportsSent == 0 {
+		return 0
+	}
+	return float64(res.ReportsDelivered) / float64(res.ReportsSent)
+}
+
+// WriteSummaryJSON writes the run summary as indented JSON.
+func WriteSummaryJSON(w io.Writer, res *cocoa.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Summarize(res))
+}
+
+// ReadSummaryJSON parses a summary written by WriteSummaryJSON.
+func ReadSummaryJSON(r io.Reader) (Summary, error) {
+	var s Summary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Summary{}, fmt.Errorf("trace: decode summary: %w", err)
+	}
+	return s, nil
+}
+
+// WriteSeriesCSV writes the team-average error time series as CSV with a
+// header row.
+func WriteSeriesCSV(w io.Writer, res *cocoa.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "avg_error_m"}); err != nil {
+		return err
+	}
+	for i := range res.Times {
+		rec := []string{
+			strconv.FormatFloat(res.Times[i], 'f', 3, 64),
+			strconv.FormatFloat(res.AvgError[i], 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSeriesCSV parses a series written by WriteSeriesCSV.
+func ReadSeriesCSV(r io.Reader) (*metrics.TimeSeries, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read series: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty series file")
+	}
+	if len(records[0]) != 2 || records[0][0] != "time_s" {
+		return nil, fmt.Errorf("trace: unexpected header %v", records[0])
+	}
+	ts := &metrics.TimeSeries{}
+	for i, rec := range records[1:] {
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i+1, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d value: %w", i+1, err)
+		}
+		ts.Add(t, v)
+	}
+	return ts, nil
+}
+
+// WritePerRobotCSV writes the per-robot error matrix: one row per sample
+// instant, one column per tracked robot, for CDF-style post-processing.
+func WritePerRobotCSV(w io.Writer, res *cocoa.Result) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(res.TrackedIDs)+1)
+	header = append(header, "time_s")
+	for _, id := range res.TrackedIDs {
+		header = append(header, "robot_"+strconv.Itoa(id))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for k := range res.Times {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, strconv.FormatFloat(res.Times[k], 'f', 3, 64))
+		for i := range res.TrackedIDs {
+			rec = append(rec, strconv.FormatFloat(res.PerRobot[i][k], 'f', 6, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cocoa/internal/cocoa"
+)
+
+// smallRun executes one reduced deployment shared by the tests.
+func smallRun(t *testing.T) *cocoa.Result {
+	t.Helper()
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = 8
+	cfg.NumEquipped = 4
+	cfg.BeaconPeriodS = 30
+	cfg.DurationS = 120
+	cfg.GridCellM = 8
+	cfg.Calibration.Samples = 40000
+	res, err := cocoa.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	res := smallRun(t)
+	var buf bytes.Buffer
+	if err := WriteSummaryJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummaryJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summarize(res)
+	if got != want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Mode != "cocoa" || got.Localizer != "grid" {
+		t.Errorf("summary identity fields: %+v", got)
+	}
+	if got.MeanErrorM <= 0 || math.IsNaN(got.MeanErrorM) {
+		t.Errorf("MeanErrorM = %v", got.MeanErrorM)
+	}
+}
+
+func TestReadSummaryJSONErrors(t *testing.T) {
+	if _, err := ReadSummaryJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	res := smallRun(t)
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != len(res.Times) {
+		t.Fatalf("round trip length %d, want %d", ts.Len(), len(res.Times))
+	}
+	for i := range res.Times {
+		if math.Abs(ts.Times[i]-res.Times[i]) > 1e-3 {
+			t.Fatalf("time[%d] = %v, want %v", i, ts.Times[i], res.Times[i])
+		}
+		if math.Abs(ts.Values[i]-res.AvgError[i]) > 1e-6 {
+			t.Fatalf("value[%d] = %v, want %v", i, ts.Values[i], res.AvgError[i])
+		}
+	}
+}
+
+func TestReadSeriesCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n1,2\n",
+		"time_s,avg_error_m\nnot-a-number,2\n",
+		"time_s,avg_error_m\n1,not-a-number\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadSeriesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted malformed CSV %q", i, in)
+		}
+	}
+}
+
+func TestPerRobotCSVShape(t *testing.T) {
+	res := smallRun(t)
+	var buf bytes.Buffer
+	if err := WritePerRobotCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Times)+1 {
+		t.Fatalf("%d lines, want %d", len(lines), len(res.Times)+1)
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) != len(res.TrackedIDs)+1 {
+		t.Fatalf("header %v, want %d robot columns", header, len(res.TrackedIDs))
+	}
+	if header[0] != "time_s" || !strings.HasPrefix(header[1], "robot_") {
+		t.Errorf("header = %v", header)
+	}
+	for i, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(header) {
+			t.Fatalf("row %d has %d fields, want %d", i, got, len(header))
+		}
+	}
+}
+
+func TestSummaryCarriesReporting(t *testing.T) {
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = 8
+	cfg.NumEquipped = 4
+	cfg.BeaconPeriodS = 30
+	cfg.DurationS = 120
+	cfg.GridCellM = 8
+	cfg.Calibration.Samples = 40000
+	cfg.EnableReporting = true
+	res, err := cocoa.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if s.ReportsSent == 0 {
+		t.Fatal("summary lost the reporting counters")
+	}
+	if s.ReportDelivery <= 0 || s.ReportDelivery > 1 {
+		t.Errorf("ReportDelivery = %v", s.ReportDelivery)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaryJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"reportsSent"`) {
+		t.Error("JSON missing reportsSent")
+	}
+}

@@ -1,0 +1,150 @@
+// Package viz renders run results as self-contained SVG documents: a
+// deployment snapshot (true positions, believed positions, error vectors)
+// and Figure 5-style path comparisons. Everything is stdlib string
+// building; the output opens in any browser.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"cocoa/internal/cocoa"
+	"cocoa/internal/geom"
+)
+
+// palette used across renderings.
+const (
+	colEquipped  = "#1f77b4" // blue squares: robots with localization devices
+	colTrue      = "#2ca02c" // green dots: true positions
+	colEstimate  = "#d62728" // red crosses: believed positions
+	colError     = "#999999" // gray segments: error vectors
+	colTruePath  = "#2ca02c"
+	colEstPath   = "#d62728"
+	colBackdrop  = "#fbfbf8"
+	colGridLines = "#e0e0da"
+)
+
+// svgDoc accumulates a document with a fixed world-to-pixel transform.
+type svgDoc struct {
+	b      strings.Builder
+	scale  float64
+	margin float64
+	area   geom.Rect
+}
+
+func newDoc(area geom.Rect, pixels float64) *svgDoc {
+	d := &svgDoc{margin: 30, area: area}
+	d.scale = pixels / area.Width()
+	w := pixels + 2*d.margin
+	h := area.Height()*d.scale + 2*d.margin
+	fmt.Fprintf(&d.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		w, h, w, h)
+	fmt.Fprintf(&d.b, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="%s"/>`, w, h, colBackdrop)
+	// 50 m grid lines.
+	for x := area.Min.X; x <= area.Max.X+1e-9; x += 50 {
+		px, _ := d.pt(geom.Vec2{X: x, Y: area.Min.Y})
+		fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`,
+			px, d.margin, px, h-d.margin, colGridLines)
+	}
+	for y := area.Min.Y; y <= area.Max.Y+1e-9; y += 50 {
+		_, py := d.pt(geom.Vec2{X: area.Min.X, Y: y})
+		fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`,
+			d.margin, py, w-d.margin, py, colGridLines)
+	}
+	return d
+}
+
+// pt converts world meters to pixel coordinates (SVG y grows downward).
+func (d *svgDoc) pt(p geom.Vec2) (x, y float64) {
+	x = d.margin + (p.X-d.area.Min.X)*d.scale
+	y = d.margin + (d.area.Max.Y-p.Y)*d.scale
+	return x, y
+}
+
+func (d *svgDoc) line(a, b geom.Vec2, stroke string, width float64) {
+	x1, y1 := d.pt(a)
+	x2, y2 := d.pt(b)
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (d *svgDoc) circle(p geom.Vec2, r float64, fill string) {
+	x, y := d.pt(p)
+	fmt.Fprintf(&d.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, x, y, r, fill)
+}
+
+func (d *svgDoc) square(p geom.Vec2, half float64, fill string) {
+	x, y := d.pt(p)
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+		x-half, y-half, 2*half, 2*half, fill)
+}
+
+func (d *svgDoc) cross(p geom.Vec2, half float64, stroke string) {
+	x, y := d.pt(p)
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5"/>`,
+		x-half, y-half, x+half, y+half, stroke)
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5"/>`,
+		x-half, y+half, x+half, y-half, stroke)
+}
+
+func (d *svgDoc) polyline(pts []geom.Vec2, stroke string) {
+	var sb strings.Builder
+	for _, p := range pts {
+		x, y := d.pt(p)
+		fmt.Fprintf(&sb, "%.1f,%.1f ", x, y)
+	}
+	fmt.Fprintf(&d.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`,
+		strings.TrimSpace(sb.String()), stroke)
+}
+
+func (d *svgDoc) text(px, py float64, s string) {
+	fmt.Fprintf(&d.b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`,
+		px, py, s)
+}
+
+func (d *svgDoc) finish() string {
+	d.b.WriteString(`</svg>`)
+	return d.b.String()
+}
+
+// DeploymentSVG renders a run's final state: equipped robots as blue
+// squares, unequipped true positions as green dots, believed positions as
+// red crosses, and gray error vectors joining them.
+func DeploymentSVG(res *cocoa.Result, pixels float64) (string, error) {
+	if len(res.FinalTruePositions) == 0 {
+		return "", fmt.Errorf("viz: result carries no final positions")
+	}
+	d := newDoc(res.Config.Area, pixels)
+	for i, truth := range res.FinalTruePositions {
+		if res.Equipped[i] {
+			d.square(truth, 4, colEquipped)
+			continue
+		}
+		est := res.FinalEstimates[i]
+		d.line(truth, est, colError, 1)
+		d.circle(truth, 3, colTrue)
+		d.cross(est, 4, colEstimate)
+	}
+	d.text(d.margin, 18, fmt.Sprintf(
+		"CoCoA deployment after %.0f s — squares: equipped, dots: true, crosses: believed (mean err %.1f m)",
+		res.Times[len(res.Times)-1], res.MeanError()))
+	return d.finish(), nil
+}
+
+// PathSVG renders a Figure 5-style comparison of a robot's true and
+// dead-reckoned paths.
+func PathSVG(truePath, estPath []geom.Vec2, area geom.Rect, pixels float64) (string, error) {
+	if len(truePath) == 0 || len(truePath) != len(estPath) {
+		return "", fmt.Errorf("viz: path lengths %d vs %d", len(truePath), len(estPath))
+	}
+	d := newDoc(area, pixels)
+	d.polyline(truePath, colTruePath)
+	d.polyline(estPath, colEstPath)
+	d.circle(truePath[0], 4, colTruePath)
+	d.cross(estPath[len(estPath)-1], 5, colEstPath)
+	d.circle(truePath[len(truePath)-1], 4, colTruePath)
+	gap := truePath[len(truePath)-1].Dist(estPath[len(estPath)-1])
+	d.text(d.margin, 18, fmt.Sprintf(
+		"odometry drift — green: real path, red: dead-reckoned (final gap %.1f m)", gap))
+	return d.finish(), nil
+}

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"cocoa/internal/cocoa"
+	"cocoa/internal/geom"
+)
+
+func smallRun(t *testing.T) *cocoa.Result {
+	t.Helper()
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = 8
+	cfg.NumEquipped = 4
+	cfg.BeaconPeriodS = 30
+	cfg.DurationS = 90
+	cfg.GridCellM = 8
+	cfg.Calibration.Samples = 40000
+	res, err := cocoa.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestDeploymentSVG(t *testing.T) {
+	res := smallRun(t)
+	svg, err := DeploymentSVG(res, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	// 4 equipped squares (plus the backdrop rect).
+	if got := strings.Count(svg, "<rect"); got != 4+1 {
+		t.Errorf("rect count = %d, want 5", got)
+	}
+	// 4 unequipped robots: one green circle each.
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("circle count = %d, want 4", got)
+	}
+	if !strings.Contains(svg, "mean err") {
+		t.Error("caption missing")
+	}
+}
+
+func TestDeploymentSVGEmptyResult(t *testing.T) {
+	if _, err := DeploymentSVG(&cocoa.Result{}, 600); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestPathSVG(t *testing.T) {
+	truePath := []geom.Vec2{{X: 10, Y: 10}, {X: 50, Y: 60}, {X: 120, Y: 80}}
+	estPath := []geom.Vec2{{X: 10, Y: 10}, {X: 52, Y: 55}, {X: 110, Y: 95}}
+	svg, err := PathSVG(truePath, estPath, geom.Square(200), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+	if !strings.Contains(svg, "final gap") {
+		t.Error("caption missing")
+	}
+}
+
+func TestPathSVGValidation(t *testing.T) {
+	if _, err := PathSVG(nil, nil, geom.Square(200), 600); err == nil {
+		t.Error("empty paths accepted")
+	}
+	if _, err := PathSVG([]geom.Vec2{{}}, []geom.Vec2{{}, {}}, geom.Square(200), 600); err == nil {
+		t.Error("mismatched paths accepted")
+	}
+}
+
+// World-to-pixel mapping: the area corners land inside the canvas and the
+// Y axis is flipped (SVG grows downward).
+func TestCoordinateTransform(t *testing.T) {
+	d := newDoc(geom.Square(200), 600)
+	x0, y0 := d.pt(geom.Vec2{X: 0, Y: 0})
+	x1, y1 := d.pt(geom.Vec2{X: 200, Y: 200})
+	if x0 >= x1 {
+		t.Errorf("x axis inverted: %v >= %v", x0, x1)
+	}
+	if y0 <= y1 {
+		t.Errorf("y axis not flipped: %v <= %v", y0, y1)
+	}
+	if x0 != d.margin || y1 != d.margin {
+		t.Errorf("margins wrong: %v %v", x0, y1)
+	}
+}
