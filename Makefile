@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate a change must pass before it lands: static analysis
+# plus the full suite under the race detector (the experiment engine fans
+# runs out across goroutines, so -race is not optional here).
+check: vet race
+
+# bench regenerates every paper figure at reduced scale, including the
+# serial-vs-parallel engine pair (BenchmarkReplication*).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

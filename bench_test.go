@@ -352,6 +352,29 @@ func BenchmarkExtensionReporting(b *testing.B) {
 	}
 }
 
+// benchmarkReplication is the embarrassingly parallel workload behind the
+// serial/parallel pair below: 8 independent seeded runs of the default
+// deployment. On a multi-core host the parallel variant should show >=2x
+// speedup at Parallelism=4 (the runs dominate; the calibration table is
+// computed once and shared); on a single-CPU host the two are expected to
+// tie. Results are byte-identical either way.
+func benchmarkReplication(b *testing.B, parallelism int) {
+	opts := benchOpts(1)
+	opts.Parallelism = parallelism
+	for i := 0; i < b.N; i++ {
+		rep, err := cocoa.RunReplication(opts, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.MeanErrorM, "mean-err-m")
+		}
+	}
+}
+
+func BenchmarkReplicationSerial(b *testing.B)    { benchmarkReplication(b, 1) }
+func BenchmarkReplicationParallel4(b *testing.B) { benchmarkReplication(b, 4) }
+
 // BenchmarkExtensionTerrain regenerates the uneven-terrain study.
 func BenchmarkExtensionTerrain(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -17,7 +17,6 @@ import (
 
 	"cocoa/internal/caltable"
 	"cocoa/internal/radio"
-	"cocoa/internal/sim"
 )
 
 func main() {
@@ -43,7 +42,7 @@ func run(args []string, w io.Writer) error {
 	model := radio.DefaultModel()
 	opts := caltable.DefaultOptions()
 	opts.Samples = *samples
-	table, err := caltable.Calibrate(model, opts, sim.NewRNG(*seed).Stream("calibration"))
+	table, err := caltable.Shared(model, opts, *seed)
 	if err != nil {
 		return err
 	}

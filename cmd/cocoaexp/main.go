@@ -2,11 +2,20 @@
 // (Section 4) plus the extension and ablation studies from DESIGN.md, and
 // prints the series/tables that EXPERIMENTS.md records.
 //
+// Dispatch is driven by the experiment registry (cocoa.Experiments()): each
+// registered experiment pairs with a renderer below, so adding an
+// experiment means one registry entry and one renderer. Independent
+// simulation runs within each experiment fan out across CPUs; -parallel 1
+// restores strictly serial execution (the output is byte-identical either
+// way — runs are seed-deterministic and results are ordered by sweep
+// index, not completion order).
+//
 // Examples:
 //
 //	cocoaexp              # the full paper-scale suite (minutes)
 //	cocoaexp -quick       # scaled-down smoke suite (seconds)
 //	cocoaexp -fig 9       # one figure only
+//	cocoaexp -parallel 1  # serial runs (default: all CPUs)
 package main
 
 import (
@@ -30,9 +39,11 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cocoaexp", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,baseline,ablations or all")
-		quick = fs.Bool("quick", false, "scaled-down runs (12 robots, 300 s)")
-		seed  = fs.Int64("seed", 1, "experiment seed")
+		fig      = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,baseline,ablations or all")
+		quick    = fs.Bool("quick", false, "scaled-down runs (12 robots, 300 s)")
+		seed     = fs.Int64("seed", 1, "experiment seed")
+		parallel = fs.Int("parallel", 0, "concurrent simulation runs per experiment (0 = all CPUs, 1 = serial)")
+		progress = fs.Bool("progress", false, "print per-run progress while an experiment executes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,101 +56,87 @@ func run(args []string, w io.Writer) error {
 		opts.CalibrationSamples = 60000
 		opts.GridCellM = 4
 	}
+	opts.Parallelism = *parallel
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = cocoa.MaxParallelism()
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  run %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
-	want := func(name string) bool { return *fig == "all" || *fig == name }
 	start := time.Now()
-
-	if want("1") {
-		if err := fig1(w, opts); err != nil {
-			return err
+	matched := false
+	for _, d := range cocoa.Experiments() {
+		if *fig != "all" && *fig != d.Flag && *fig != d.Name {
+			continue
+		}
+		matched = true
+		render, ok := renderers[d.Name]
+		if !ok {
+			return fmt.Errorf("experiment %q has no renderer", d.Name)
+		}
+		res, err := d.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.Name, err)
+		}
+		header(w, d.Title)
+		if err := render(w, res); err != nil {
+			return fmt.Errorf("%s: %w", d.Name, err)
 		}
 	}
-	if want("4") {
-		if err := fig4(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("5") {
-		if err := fig5(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("6") {
-		if err := fig6(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("7") {
-		if err := fig7(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("8") {
-		if err := fig8(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("9") {
-		if err := fig9(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("10") {
-		if err := fig10(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("ext") {
-		if err := extension(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("power") {
-		if err := powerControl(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("skew") {
-		if err := clockSkew(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("terrain") {
-		if err := terrainStudy(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("reports") {
-		if err := reports(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("failures") {
-		if err := failures(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("baseline") {
-		if err := baseline(w, opts); err != nil {
-			return err
-		}
-	}
-	if want("ablations") {
-		if err := ablations(w, opts); err != nil {
-			return err
-		}
+	if !matched {
+		return fmt.Errorf("unknown figure %q (see -fig usage)", *fig)
 	}
 	fmt.Fprintf(w, "\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// renderers maps registry names to output formatting. Every registered
+// experiment must have an entry; run() errors out otherwise.
+var renderers = map[string]func(io.Writer, any) error{
+	"fig1":               renderFig1,
+	"fig4":               renderFig4,
+	"fig5":               renderFig5,
+	"fig6":               renderFig6,
+	"fig7":               renderFig7,
+	"fig8":               renderFig8,
+	"fig9":               renderFig9,
+	"fig10":              renderFig10,
+	"ext-secondary":      renderExtensionSecondary,
+	"ext-power":          renderPowerControl,
+	"ext-skew":           renderClockSkew,
+	"ext-terrain":        renderTerrain,
+	"ext-reports":        renderReports,
+	"rob-failures":       renderFailures,
+	"rob-replication":    renderReplication,
+	"baseline":           renderBaseline,
+	"ablation-pruning":   renderAblationPruning,
+	"ablation-k":         renderAblationK,
+	"ablation-grid":      renderAblationGrid,
+	"ablation-localizer": renderAblationLocalizer,
 }
 
 func header(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
 }
 
-func fig1(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 1 — RSSI -> distance PDFs from calibration")
-	res, err := cocoa.RunFig1(opts)
+// result asserts the registry payload to the renderer's concrete type.
+func result[T any](v any) (T, error) {
+	t, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("unexpected result type %T", v)
+	}
+	return t, nil
+}
+
+func renderFig1(w io.Writer, v any) error {
+	res, err := result[*cocoa.Fig1Result](v)
 	if err != nil {
 		return err
 	}
@@ -159,9 +156,8 @@ func printSeries(w io.Writer, s cocoa.Series, every int) {
 	fmt.Fprintf(w, " ]\n")
 }
 
-func fig4(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 4 — localization error over time, odometry only")
-	series, err := cocoa.RunFig4(opts)
+func renderFig4(w io.Writer, v any) error {
+	series, err := result[[]cocoa.Series](v)
 	if err != nil {
 		return err
 	}
@@ -173,9 +169,8 @@ func fig4(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func fig5(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 5 — an example of odometry error (one robot)")
-	res, err := cocoa.RunFig5(opts)
+func renderFig5(w io.Writer, v any) error {
+	res, err := result[*cocoa.Fig5Result](v)
 	if err != nil {
 		return err
 	}
@@ -187,9 +182,8 @@ func fig5(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func fig6(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 6 — RF localization only, beacon-period sweep")
-	series, err := cocoa.RunFig6(opts)
+func renderFig6(w io.Writer, v any) error {
+	series, err := result[[]cocoa.Series](v)
 	if err != nil {
 		return err
 	}
@@ -199,9 +193,8 @@ func fig6(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func fig7(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 7 — CoCoA vs odometry-only vs RF-only (T = 100 s)")
-	results, err := cocoa.RunFig7(opts)
+func renderFig7(w io.Writer, v any) error {
+	results, err := result[[]cocoa.Fig7Result](v)
 	if err != nil {
 		return err
 	}
@@ -215,9 +208,8 @@ func fig7(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func fig8(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 8 — error CDF at three time instances (T = 100 s)")
-	snaps, err := cocoa.RunFig8(opts)
+func renderFig8(w io.Writer, v any) error {
+	snaps, err := result[[]cocoa.CDFSnapshot](v)
 	if err != nil {
 		return err
 	}
@@ -239,9 +231,8 @@ func fractionBelow(s cocoa.CDFSnapshot, x float64) float64 {
 	return frac
 }
 
-func fig9(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 9 — impact of beacon period T on error and energy")
-	rows, err := cocoa.RunFig9(opts)
+func renderFig9(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.Fig9Row](v)
 	if err != nil {
 		return err
 	}
@@ -255,9 +246,8 @@ func fig9(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func fig10(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Figure 10 — impact of the number of localization devices")
-	rows, err := cocoa.RunFig10(opts)
+func renderFig10(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.Fig10Row](v)
 	if err != nil {
 		return err
 	}
@@ -270,9 +260,8 @@ func fig10(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func extension(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Extension — secondary beacons from localized unequipped robots")
-	rows, err := cocoa.RunExtensionSecondary(opts)
+func renderExtensionSecondary(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.ExtensionRow](v)
 	if err != nil {
 		return err
 	}
@@ -286,9 +275,8 @@ func extension(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func powerControl(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Extension — transmit power control (future work, Sec. 6)")
-	rows, err := cocoa.RunExtensionPowerControl(opts)
+func renderPowerControl(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.PowerControlRow](v)
 	if err != nil {
 		return err
 	}
@@ -301,9 +289,8 @@ func powerControl(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func clockSkew(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Extension — clock drift vs SYNC (why coordination needs MRMM)")
-	rows, err := cocoa.RunExtensionClockSkew(opts)
+func renderClockSkew(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.ClockSkewRow](v)
 	if err != nil {
 		return err
 	}
@@ -316,9 +303,8 @@ func clockSkew(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func terrainStudy(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Extension — uneven terrain (paper introduction)")
-	rows, err := cocoa.RunExtensionTerrain(opts)
+func renderTerrain(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.TerrainRow](v)
 	if err != nil {
 		return err
 	}
@@ -329,9 +315,8 @@ func terrainStudy(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func reports(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Extension — status reports to the controller (geographic unicast)")
-	rows, err := cocoa.RunExtensionReporting(opts)
+func renderReports(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.ReportingRow](v)
 	if err != nil {
 		return err
 	}
@@ -344,9 +329,8 @@ func reports(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func failures(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Robustness — equipped-robot failures mid-run")
-	rows, err := cocoa.RunFailureInjection(opts)
+func renderFailures(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.FailureRow](v)
 	if err != nil {
 		return err
 	}
@@ -355,9 +339,11 @@ func failures(w io.Writer, opts cocoa.ExperimentOptions) error {
 		fmt.Fprintf(w, "  %10d %15.2f %14.2f %9.0f%%\n",
 			r.FailedEquipped, r.MeanBeforeM, r.MeanAfterM, 100*r.FixRate)
 	}
+	return nil
+}
 
-	header(w, "Robustness — cross-seed replication of the headline metric")
-	rep, err := cocoa.RunReplication(opts, 5)
+func renderReplication(w io.Writer, v any) error {
+	rep, err := result[cocoa.Replication](v)
 	if err != nil {
 		return err
 	}
@@ -366,9 +352,8 @@ func failures(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func baseline(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Baseline — CoCoA vs Cooperative Positioning (Kurazume et al.)")
-	rows, err := cocoa.RunBaselineCoopPos(opts)
+func renderBaseline(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.BaselineRow](v)
 	if err != nil {
 		return err
 	}
@@ -381,42 +366,47 @@ func baseline(w io.Writer, opts cocoa.ExperimentOptions) error {
 	return nil
 }
 
-func ablations(w io.Writer, opts cocoa.ExperimentOptions) error {
-	header(w, "Ablation — MRMM mesh pruning vs plain ODMRP")
-	prows, err := cocoa.RunAblationPruning(opts)
+func renderAblationPruning(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.AblationPruningRow](v)
 	if err != nil {
 		return err
 	}
-	for _, r := range prows {
+	for _, r := range rows {
 		fmt.Fprintf(w, "  pruning=%-5v dataTx=%4d delivered=%4d queries=%4d forwarders=%3d err=%.2fm\n",
 			r.Pruning, r.DataSent, r.DataDelivered, r.QueriesSent, r.Forwarders, r.MeanErrorM)
 	}
+	return nil
+}
 
-	header(w, "Ablation — beacon redundancy k")
-	krows, err := cocoa.RunAblationK(opts)
+func renderAblationK(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.AblationKRow](v)
 	if err != nil {
 		return err
 	}
-	for _, r := range krows {
+	for _, r := range rows {
 		fmt.Fprintf(w, "  k=%d: err=%.2fm fixRate=%.0f%% energy=%.0fJ framesSent=%d\n",
 			r.K, r.MeanErrorM, 100*r.FixRate, r.CoordEnergyJ, r.BeaconsSent)
 	}
+	return nil
+}
 
-	header(w, "Ablation — Bayesian grid resolution")
-	grows, err := cocoa.RunAblationGrid(opts)
+func renderAblationGrid(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.AblationGridRow](v)
 	if err != nil {
 		return err
 	}
-	for _, r := range grows {
+	for _, r := range rows {
 		fmt.Fprintf(w, "  cell=%.0fm (%6d cells): err=%.2fm\n", r.CellM, r.WallSenseN, r.MeanErrorM)
 	}
+	return nil
+}
 
-	header(w, "Ablation — localization backend (grid vs Monte Carlo)")
-	lrows, err := cocoa.RunAblationLocalizer(opts)
+func renderAblationLocalizer(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.AblationLocalizerRow](v)
 	if err != nil {
 		return err
 	}
-	for _, r := range lrows {
+	for _, r := range rows {
 		fmt.Fprintf(w, "  backend=%-8s err=%.2fm fixRate=%.0f%%\n",
 			r.Backend, r.MeanErrorM, 100*r.FixRate)
 	}

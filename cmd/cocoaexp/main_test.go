@@ -66,6 +66,50 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-quick", "-fig", "no-such-figure"}, &buf)
+	if err == nil {
+		t.Fatal("unknown -fig value accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-figure") {
+		t.Errorf("error does not name the bad selector: %v", err)
+	}
+}
+
+// Every registered experiment must have a renderer, or the full suite
+// aborts at that experiment.
+func TestRenderersCoverRegistry(t *testing.T) {
+	for _, d := range cocoa.Experiments() {
+		if _, ok := renderers[d.Name]; !ok {
+			t.Errorf("experiment %q has no renderer", d.Name)
+		}
+	}
+}
+
+// -parallel must not change the bytes written: runs are seed-deterministic
+// and results land by sweep index, not completion order.
+func TestRunOutputIdenticalAcrossParallelism(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "9", "-parallel", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-fig", "9", "-parallel", "4"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		// The wall-time trailer is the one legitimately nondeterministic line.
+		i := strings.LastIndex(s, "\ntotal wall time")
+		if i < 0 {
+			t.Fatalf("output missing wall-time trailer:\n%s", s)
+		}
+		return s[:i]
+	}
+	if got, want := trim(parallel.String()), trim(serial.String()); got != want {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}
+
 func snapshotForTest() cocoa.CDFSnapshot {
 	return cocoa.CDFSnapshot{
 		Errors: []float64{1, 2, 5, 20},

@@ -30,6 +30,7 @@ import (
 	"cocoa/internal/mobility"
 	"cocoa/internal/odometry"
 	"cocoa/internal/radio"
+	"cocoa/internal/runner"
 	"cocoa/internal/scenario"
 )
 
@@ -111,6 +112,22 @@ type (
 	// Fig10Row is one equipped-count outcome of Figure 10.
 	Fig10Row = scenario.Fig10Row
 )
+
+// ExperimentDescriptor is one registered experiment: a unique name, the
+// CLI selector group it answers to, a section title, and the runner
+// itself. Run returns the experiment's concrete result type (e.g.
+// []Fig9Row for "fig9"); callers type-assert when rendering.
+type ExperimentDescriptor = scenario.Descriptor
+
+// Experiments returns every registered experiment in presentation order.
+// cmd/cocoaexp drives its dispatch from this list; library users can
+// iterate it to regenerate the full suite programmatically.
+func Experiments() []ExperimentDescriptor { return scenario.Experiments() }
+
+// MaxParallelism reports the engine's all-CPUs parallelism level
+// (GOMAXPROCS). ExperimentOptions.Parallelism set to this value saturates
+// the host; results are byte-identical at any parallelism.
+func MaxParallelism() int { return runner.MaxParallelism() }
 
 // ExperimentBeaconSweep is the paper's beacon-period sweep (Figures 6, 9).
 func ExperimentBeaconSweep() []float64 {

@@ -1,0 +1,77 @@
+package caltable
+
+import (
+	"sync"
+
+	"cocoa/internal/radio"
+	"cocoa/internal/sim"
+)
+
+// The calibration phase is the single most expensive setup step of a run
+// (hundreds of thousands of Monte-Carlo channel soundings), and every run
+// of a sweep with the same radio model, calibration options, and seed
+// produces bit-identical tables. The process-wide cache below computes each
+// distinct table once and hands the same immutable *Table to every
+// subsequent caller — Table is read-only after construction, so sharing one
+// across concurrently executing teams is safe.
+
+// cacheKey identifies one calibration outcome. radio.Model and Options are
+// flat scalar structs, so the key is comparable and collision-free.
+type cacheKey struct {
+	model radio.Model
+	opts  Options
+	seed  int64
+}
+
+// cacheEntry computes its table at most once; concurrent requesters for
+// the same key block on the same Once instead of duplicating the work.
+type cacheEntry struct {
+	once  sync.Once
+	table *Table
+	err   error
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*cacheEntry{}
+)
+
+// cacheLimit bounds the table cache. Tables are small (tens of KB), so the
+// bound exists only to keep pathological many-config workloads from growing
+// without limit; eviction picks an arbitrary entry because the choice only
+// affects recomputation cost, never results.
+const cacheLimit = 64
+
+// Shared returns the calibration table for the given model, options, and
+// experiment seed, computing it at most once per process. The RNG stream is
+// derived exactly as the direct call sites do — sim.NewRNG(seed).
+// Stream("calibration") — so Shared is byte-for-byte interchangeable with
+// Calibrate and preserves run determinism at every parallelism level.
+func Shared(m radio.Model, opts Options, seed int64) (*Table, error) {
+	key := cacheKey{model: m, opts: opts, seed: seed}
+	cacheMu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		if len(cache) >= cacheLimit {
+			for k := range cache {
+				delete(cache, k)
+				break
+			}
+		}
+		e = &cacheEntry{}
+		cache[key] = e
+	}
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		e.table, e.err = Calibrate(m, opts, sim.NewRNG(seed).Stream("calibration"))
+	})
+	return e.table, e.err
+}
+
+// ResetShared empties the process-wide table cache (test isolation and
+// memory reclamation; results never depend on cache state).
+func ResetShared() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[cacheKey]*cacheEntry{}
+}

@@ -1,0 +1,106 @@
+package caltable
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cocoa/internal/radio"
+	"cocoa/internal/sim"
+)
+
+func fastCacheOpts() Options {
+	o := DefaultOptions()
+	o.Samples = 20000
+	return o
+}
+
+// Shared must be byte-for-byte interchangeable with the direct Calibrate
+// call it replaces at the team-assembly sites.
+func TestSharedMatchesDirectCalibrate(t *testing.T) {
+	ResetShared()
+	model := radio.DefaultModel()
+	opts := fastCacheOpts()
+	direct, err := Calibrate(model, opts, sim.NewRNG(7).Stream("calibration"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Shared(model, opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, shared) {
+		t.Fatal("Shared table differs from direct Calibrate")
+	}
+}
+
+func TestSharedReusesAndDiscriminates(t *testing.T) {
+	ResetShared()
+	model := radio.DefaultModel()
+	opts := fastCacheOpts()
+	a, err := Shared(model, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shared(model, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical key recomputed the table")
+	}
+	c, err := Shared(model, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different seed shared a table")
+	}
+	model2 := model
+	model2.TxPowerDBm += 3
+	d, err := Shared(model2, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different radio model shared a table")
+	}
+}
+
+// Concurrent requesters for the same key must get one computation and the
+// same table (exercised under -race).
+func TestSharedConcurrent(t *testing.T) {
+	ResetShared()
+	model := radio.DefaultModel()
+	opts := fastCacheOpts()
+	const n = 8
+	tables := make([]*Table, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tbl, err := Shared(model, opts, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tables[i] = tbl
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if tables[i] != tables[0] {
+			t.Fatal("concurrent callers got different tables")
+		}
+	}
+}
+
+func TestSharedInvalidOptions(t *testing.T) {
+	ResetShared()
+	bad := DefaultOptions()
+	bad.Samples = 0
+	if _, err := Shared(radio.DefaultModel(), bad, 1); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

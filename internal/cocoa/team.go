@@ -72,7 +72,11 @@ func NewTeam(cfg Config) (*Team, error) {
 
 	needRF := cfg.Mode != ModeOdometryOnly
 	if needRF {
-		table, err := caltable.Calibrate(cfg.Radio, cfg.Calibration, root.Stream("calibration"))
+		// Shared derives the same "calibration" stream from cfg.Seed that
+		// a direct Calibrate call here used, so identical configs across a
+		// sweep reuse one immutable table instead of re-sounding the
+		// channel per run.
+		table, err := caltable.Shared(cfg.Radio, cfg.Calibration, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("calibration: %w", err)
 		}

@@ -149,7 +149,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	root := sim.NewRNG(cfg.Seed)
-	table, err := caltable.Calibrate(cfg.Radio, cfg.Calibration, root.Stream("calibration"))
+	table, err := caltable.Shared(cfg.Radio, cfg.Calibration, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("calibration: %w", err)
 	}

@@ -1,0 +1,144 @@
+// Package runner is the experiment execution engine: it fans independent,
+// seed-deterministic simulation runs (sweep points x seeds) across a worker
+// pool while preserving the exact semantics of a serial loop.
+//
+// The engine guarantees:
+//
+//   - deterministic result ordering: results land at their job index, never
+//     in completion order, so a parallel sweep returns byte-identical output
+//     to a serial one when every job is a pure function of its index;
+//   - first-error propagation: the first failing job (lowest index among
+//     observed failures) cancels all outstanding work and its error is
+//     returned, mirroring a serial loop's early return;
+//   - cooperative cancellation: a context cancels between jobs, and the
+//     per-job context lets long jobs observe cancellation themselves;
+//   - serialized progress reporting: the Progress callback is never invoked
+//     concurrently, so callers need no locking to drive a counter or a
+//     progress bar.
+//
+// Parallelism <= 1 degenerates to a plain inline loop on the calling
+// goroutine — the zero value of Options reproduces serial behavior exactly,
+// which is what keeps existing callers unchanged.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cocoa/internal/cocoa"
+)
+
+// Options configures one fan-out.
+type Options struct {
+	// Parallelism is the maximum number of concurrently executing jobs.
+	// Values <= 1 run the jobs serially on the calling goroutine; the pool
+	// never spawns more workers than there are jobs. Use MaxParallelism
+	// for "as many as the hardware allows".
+	Parallelism int
+	// Progress, when non-nil, is invoked after each job completes with the
+	// number of completed jobs and the total. Invocations are serialized;
+	// done is strictly increasing from 1 to total on a fully successful
+	// fan-out.
+	Progress func(done, total int)
+}
+
+// MaxParallelism returns the worker count that saturates the hardware,
+// GOMAXPROCS at the time of the call.
+func MaxParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Map executes fn(ctx, i) for every i in [0, n) and returns the results in
+// index order. With opts.Parallelism > 1 the jobs run on a worker pool;
+// otherwise they run inline. The first error cancels outstanding work and
+// is returned wrapped with its job index (among concurrently observed
+// failures, the lowest index wins, matching the job a serial loop would
+// have failed on). A nil ctx means context.Background().
+func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, fmt.Errorf("runner: job %d: %w", i, err)
+			}
+			out[i] = v
+			if opts.Progress != nil {
+				opts.Progress(i+1, n)
+			}
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		errIdx   = -1
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				v, err := fn(cctx, i)
+				mu.Lock()
+				if err != nil {
+					if errIdx == -1 || i < errIdx {
+						firstErr = fmt.Errorf("runner: job %d: %w", i, err)
+						errIdx = i
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				out[i] = v
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Runs executes every configuration through cocoa.Run on the pool and
+// returns the results in configuration order. Each run is fully
+// deterministic in its Config (including Seed), so the output is identical
+// at any parallelism level.
+func Runs(ctx context.Context, opts Options, cfgs []cocoa.Config) ([]*cocoa.Result, error) {
+	return Map(ctx, opts, len(cfgs), func(_ context.Context, i int) (*cocoa.Result, error) {
+		return cocoa.Run(cfgs[i])
+	})
+}

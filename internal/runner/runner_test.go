@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cocoa/internal/cocoa"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, par := range []int{0, 1, 4, 16} {
+		got, err := Map(context.Background(), Options{Parallelism: par}, 50,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallelism %d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), Options{Parallelism: 4}, 0,
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		_, err := Map(context.Background(), Options{Parallelism: par}, 20,
+			func(_ context.Context, i int) (int, error) {
+				if i == 3 {
+					return 0, boom
+				}
+				return i, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("parallelism %d: err = %v, want wrapped boom", par, err)
+		}
+		if par == 1 && !strings.Contains(err.Error(), "job 3") {
+			t.Fatalf("error lost job index: %v", err)
+		}
+	}
+}
+
+func TestMapSerialErrorStopsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	_, err := Map(context.Background(), Options{}, 10,
+		func(_ context.Context, i int) (int, error) {
+			calls++
+			if i == 2 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("calls = %d, err = %v; want 3 calls and boom", calls, err)
+	}
+}
+
+func TestMapParallelErrorCancelsOutstanding(t *testing.T) {
+	boom := errors.New("boom")
+	started := make(chan struct{}, 64)
+	_, err := Map(context.Background(), Options{Parallelism: 2}, 64,
+		func(ctx context.Context, i int) (int, error) {
+			started <- struct{}{}
+			return 0, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cancellation keeps the pool from visiting all 64 jobs: at most the
+	// two in-flight jobs plus the two picked before observing the cancel.
+	if n := len(started); n > 8 {
+		t.Errorf("%d jobs started after first error; cancellation ineffective", n)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		_, err := Map(ctx, Options{Parallelism: par}, 10,
+			func(_ context.Context, i int) (int, error) { return i, nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+func TestMapProgressSerializedAndComplete(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var dones []int
+		_, err := Map(context.Background(), Options{
+			Parallelism: par,
+			// No locking here on purpose: the engine guarantees serialized
+			// invocation, and -race verifies it.
+			Progress: func(done, total int) {
+				if total != 30 {
+					t.Errorf("total = %d, want 30", total)
+				}
+				dones = append(dones, done)
+			},
+		}, 30, func(_ context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dones) != 30 {
+			t.Fatalf("parallelism %d: %d progress calls, want 30", par, len(dones))
+		}
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("parallelism %d: progress not monotone: %v", par, dones)
+			}
+		}
+	}
+}
+
+// TestRunsDeterministicAcrossParallelism is the engine-level determinism
+// guarantee: the same seeded configs produce byte-identical results whether
+// executed serially or on the pool.
+func TestRunsDeterministicAcrossParallelism(t *testing.T) {
+	cfgs := make([]cocoa.Config, 3)
+	for i := range cfgs {
+		cfg := cocoa.DefaultConfig()
+		cfg.NumRobots = 10
+		cfg.NumEquipped = 5
+		cfg.DurationS = 60
+		cfg.BeaconPeriodS = 20
+		cfg.GridCellM = 8
+		cfg.Calibration.Samples = 20000
+		cfg.Seed = int64(i + 1)
+		cfgs[i] = cfg
+	}
+	serial, err := Runs(context.Background(), Options{}, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runs(context.Background(), Options{Parallelism: 4}, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if len(serial[i].AvgError) != len(parallel[i].AvgError) {
+			t.Fatalf("run %d: series lengths differ", i)
+		}
+		for j := range serial[i].AvgError {
+			if serial[i].AvgError[j] != parallel[i].AvgError[j] {
+				t.Fatalf("run %d: AvgError[%d] differs: %v vs %v",
+					i, j, serial[i].AvgError[j], parallel[i].AvgError[j])
+			}
+		}
+		if serial[i].TotalEnergyJ != parallel[i].TotalEnergyJ {
+			t.Fatalf("run %d: energy differs", i)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"context"
+
 	"cocoa/internal/cocoa"
 	"cocoa/internal/coopos"
+	"cocoa/internal/runner"
 )
 
 // BaselineRow compares localization systems on the same deployment scale.
@@ -19,60 +22,73 @@ type BaselineRow struct {
 
 // RunBaselineCoopPos compares CoCoA against the Cooperative Positioning
 // baseline (Kurazume et al., the paper's related-work Section 5) and the
-// odometry-only floor, all at the same team size and duration.
+// odometry-only floor, all at the same team size and duration. The three
+// systems are independent simulations, so they run as one fan-out on the
+// experiment engine — heterogeneous jobs each producing a finished row.
 func RunBaselineCoopPos(opts Options) ([]BaselineRow, error) {
-	var out []BaselineRow
-
-	// CoCoA, the paper's default setup.
+	// CoCoA, the paper's default setup; the other systems mirror its scale.
 	cocoaCfg := cocoa.DefaultConfig()
 	opts.apply(&cocoaCfg)
-	cocoaRes, err := cocoa.Run(cocoaCfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, BaselineRow{
-		System:          "cocoa",
-		MeanErrorM:      cocoaRes.MeanError(),
-		FinalErrorM:     cocoaRes.AvgError[len(cocoaRes.AvgError)-1],
-		MobilityDutyPct: 100,
-		EquippedRobots:  cocoaCfg.NumEquipped,
-	})
 
-	// Cooperative Positioning: no localization devices at all; half the
-	// team is parked as landmarks at any instant.
-	cpCfg := coopos.DefaultConfig()
-	cpCfg.Seed = opts.seed()
-	cpCfg.NumRobots = cocoaCfg.NumRobots
-	cpCfg.VMax = cocoaCfg.VMax
-	cpCfg.DurationS = cocoaCfg.DurationS
-	cpCfg.GridCellM = cocoaCfg.GridCellM
-	cpCfg.Calibration = cocoaCfg.Calibration
-	cpRes, err := coopos.Run(cpCfg)
-	if err != nil {
-		return nil, err
+	jobs := []func() (BaselineRow, error){
+		func() (BaselineRow, error) {
+			res, err := cocoa.Run(cocoaCfg)
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				System:          "cocoa",
+				MeanErrorM:      res.MeanError(),
+				FinalErrorM:     res.AvgError[len(res.AvgError)-1],
+				MobilityDutyPct: 100,
+				EquippedRobots:  cocoaCfg.NumEquipped,
+			}, nil
+		},
+		func() (BaselineRow, error) {
+			// Cooperative Positioning: no localization devices at all; half
+			// the team is parked as landmarks at any instant.
+			cpCfg := coopos.DefaultConfig()
+			cpCfg.Seed = opts.seed()
+			cpCfg.NumRobots = cocoaCfg.NumRobots
+			cpCfg.VMax = cocoaCfg.VMax
+			cpCfg.DurationS = cocoaCfg.DurationS
+			cpCfg.GridCellM = cocoaCfg.GridCellM
+			cpCfg.Calibration = cocoaCfg.Calibration
+			res, err := coopos.Run(cpCfg)
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				System:          "cooperative-positioning",
+				MeanErrorM:      res.MeanError(),
+				FinalErrorM:     res.FinalError(),
+				MobilityDutyPct: 50,
+				EquippedRobots:  0,
+			}, nil
+		},
+		func() (BaselineRow, error) {
+			// Odometry-only floor.
+			odoCfg := cocoa.DefaultConfig()
+			odoCfg.Mode = cocoa.ModeOdometryOnly
+			opts.apply(&odoCfg)
+			res, err := cocoa.Run(odoCfg)
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				System:          "odometry-only",
+				MeanErrorM:      res.MeanError(),
+				FinalErrorM:     res.AvgError[len(res.AvgError)-1],
+				MobilityDutyPct: 100,
+				EquippedRobots:  0,
+			}, nil
+		},
 	}
-	out = append(out, BaselineRow{
-		System:          "cooperative-positioning",
-		MeanErrorM:      cpRes.MeanError(),
-		FinalErrorM:     cpRes.FinalError(),
-		MobilityDutyPct: 50,
-		EquippedRobots:  0,
-	})
 
-	// Odometry-only floor.
-	odoCfg := cocoa.DefaultConfig()
-	odoCfg.Mode = cocoa.ModeOdometryOnly
-	opts.apply(&odoCfg)
-	odoRes, err := cocoa.Run(odoCfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, BaselineRow{
-		System:          "odometry-only",
-		MeanErrorM:      odoRes.MeanError(),
-		FinalErrorM:     odoRes.AvgError[len(odoRes.AvgError)-1],
-		MobilityDutyPct: 100,
-		EquippedRobots:  0,
+	return runner.Map(context.Background(), runner.Options{
+		Parallelism: opts.Parallelism,
+		Progress:    opts.Progress,
+	}, len(jobs), func(_ context.Context, i int) (BaselineRow, error) {
+		return jobs[i]()
 	})
-	return out, nil
 }

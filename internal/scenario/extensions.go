@@ -15,20 +15,25 @@ type AblationLocalizerRow struct {
 // RunAblationLocalizer runs the same deployment with the paper's grid
 // estimator, with Monte Carlo localization, and with an EKF.
 func RunAblationLocalizer(opts Options) ([]AblationLocalizerRow, error) {
-	var out []AblationLocalizerRow
-	for _, kind := range []cocoa.LocalizerKind{cocoa.LocalizerGrid, cocoa.LocalizerParticle, cocoa.LocalizerEKF} {
+	kinds := []cocoa.LocalizerKind{cocoa.LocalizerGrid, cocoa.LocalizerParticle, cocoa.LocalizerEKF}
+	cfgs := make([]cocoa.Config, len(kinds))
+	for i, kind := range kinds {
 		cfg := cocoa.DefaultConfig()
 		cfg.Localizer = kind
 		opts.apply(&cfg)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationLocalizerRow{
-			Backend:    kind.String(),
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationLocalizerRow, len(results))
+	for i, res := range results {
+		out[i] = AblationLocalizerRow{
+			Backend:    kinds[i].String(),
 			MeanErrorM: res.MeanError(),
 			FixRate:    res.FixRate(),
-		})
+		}
 	}
 	return out, nil
 }
@@ -49,8 +54,9 @@ type PowerControlRow struct {
 // coverage-limited deployment (few equipped robots), where range directly
 // controls how many robots can cooperate.
 func RunExtensionPowerControl(opts Options) ([]PowerControlRow, error) {
-	var out []PowerControlRow
-	for _, tx := range []float64{9, 12, 15, 18} {
+	powers := []float64{9, 12, 15, 18}
+	cfgs := make([]cocoa.Config, len(powers))
+	for i, tx := range powers {
 		cfg := cocoa.DefaultConfig()
 		cfg.NumEquipped = 5
 		cfg.Radio.TxPowerDBm = tx
@@ -61,18 +67,22 @@ func RunExtensionPowerControl(opts Options) ([]PowerControlRow, error) {
 				cfg.NumEquipped = 1
 			}
 		}
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, PowerControlRow{
-			TxPowerDBm:  tx,
-			MeanRangeM:  cfg.Radio.MeanRange(),
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PowerControlRow, len(results))
+	for i, res := range results {
+		out[i] = PowerControlRow{
+			TxPowerDBm:  powers[i],
+			MeanRangeM:  cfgs[i].Radio.MeanRange(),
 			MeanErrorM:  res.MeanError(),
 			FixRate:     res.FixRate(),
 			EnergyJ:     res.TotalEnergyJ,
 			BeaconsUsed: res.BeaconsApplied,
-		})
+		}
 	}
 	return out, nil
 }
@@ -92,24 +102,36 @@ type ClockSkewRow struct {
 // schedule, so their windows slide off the Sync robot's time base and
 // beacons land on sleeping radios.
 func RunExtensionClockSkew(opts Options) ([]ClockSkewRow, error) {
-	var out []ClockSkewRow
+	type point struct {
+		drift  float64
+		syncOn bool
+	}
+	var points []point
 	for _, drift := range []float64{0, 0.5, 1.5} {
 		for _, syncOn := range []bool{true, false} {
-			cfg := cocoa.DefaultConfig()
-			cfg.ClockDriftSigmaS = drift
-			cfg.DisableSync = !syncOn
-			opts.apply(&cfg)
-			res, err := cocoa.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ClockSkewRow{
-				DriftSigmaS: drift,
-				SyncEnabled: syncOn,
-				MeanErrorM:  res.MeanError(),
-				FixRate:     res.FixRate(),
-				MissedPkts:  res.MAC.MissedAsleep,
-			})
+			points = append(points, point{drift, syncOn})
+		}
+	}
+	cfgs := make([]cocoa.Config, len(points))
+	for i, p := range points {
+		cfg := cocoa.DefaultConfig()
+		cfg.ClockDriftSigmaS = p.drift
+		cfg.DisableSync = !p.syncOn
+		opts.apply(&cfg)
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ClockSkewRow, len(results))
+	for i, res := range results {
+		out[i] = ClockSkewRow{
+			DriftSigmaS: points[i].drift,
+			SyncEnabled: points[i].syncOn,
+			MeanErrorM:  res.MeanError(),
+			FixRate:     res.FixRate(),
+			MissedPkts:  res.MAC.MissedAsleep,
 		}
 	}
 	return out, nil
@@ -130,18 +152,23 @@ type ReportingRow struct {
 // EnableReporting on, every localized unequipped robot sends one report
 // per window toward the Sync robot by greedy geographic forwarding.
 func RunExtensionReporting(opts Options) ([]ReportingRow, error) {
-	var out []ReportingRow
-	for _, T := range []float64{50, 100} {
+	periods := []float64{50, 100}
+	cfgs := make([]cocoa.Config, len(periods))
+	for i, T := range periods {
 		cfg := cocoa.DefaultConfig()
 		cfg.EnableReporting = true
 		cfg.BeaconPeriodS = T
 		opts.apply(&cfg)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReportingRow, len(results))
+	for i, res := range results {
 		row := ReportingRow{
-			PeriodS:      T,
+			PeriodS:      periods[i],
 			DeliveryRate: res.ReportDeliveryRate(),
 			ReportsSent:  res.ReportsSent,
 			MeanErrorM:   res.MeanError(),
@@ -149,7 +176,7 @@ func RunExtensionReporting(opts Options) ([]ReportingRow, error) {
 		if res.ReportsDelivered > 0 {
 			row.MeanHops = float64(res.ReportHopsTotal) / float64(res.ReportsDelivered)
 		}
-		out = append(out, row)
+		out[i] = row
 	}
 	return out, nil
 }

@@ -1,0 +1,137 @@
+package scenario
+
+// The experiment registry is the single place a new experiment plugs into:
+// one Descriptor entry makes it reachable from cmd/cocoaexp (dispatch,
+// -fig selection, section ordering) and from library users iterating
+// Experiments(). Renderers stay with their callers; the registry owns the
+// name, the grouping, the section title, and the runner itself.
+
+// Descriptor describes one registered experiment runner.
+type Descriptor struct {
+	// Name uniquely identifies the experiment (e.g. "fig9",
+	// "ablation-k"); callers key renderers by it.
+	Name string
+	// Flag is the CLI selector group: several experiments can share one
+	// (all four ablations answer to -fig ablations).
+	Flag string
+	// Title is the human-readable section header.
+	Title string
+	// Run executes the experiment. The concrete result type is the one the
+	// underlying Run* function returns (e.g. []Fig9Row for "fig9");
+	// callers type-assert when rendering.
+	Run func(Options) (any, error)
+}
+
+// Experiments returns every registered experiment in presentation order
+// (the order cocoaexp prints the full suite in). The returned slice is a
+// copy; callers may reorder or filter it freely.
+func Experiments() []Descriptor {
+	return append([]Descriptor(nil), registry...)
+}
+
+// replicationSeeds is the default cross-seed replication width, matching
+// the repetition count credible multi-run averages need at reasonable cost.
+const replicationSeeds = 5
+
+var registry = []Descriptor{
+	{
+		Name: "fig1", Flag: "1",
+		Title: "Figure 1 — RSSI -> distance PDFs from calibration",
+		Run:   func(o Options) (any, error) { return RunFig1(o) },
+	},
+	{
+		Name: "fig4", Flag: "4",
+		Title: "Figure 4 — localization error over time, odometry only",
+		Run:   func(o Options) (any, error) { return RunFig4(o) },
+	},
+	{
+		Name: "fig5", Flag: "5",
+		Title: "Figure 5 — an example of odometry error (one robot)",
+		Run:   func(o Options) (any, error) { return RunFig5(o) },
+	},
+	{
+		Name: "fig6", Flag: "6",
+		Title: "Figure 6 — RF localization only, beacon-period sweep",
+		Run:   func(o Options) (any, error) { return RunFig6(o) },
+	},
+	{
+		Name: "fig7", Flag: "7",
+		Title: "Figure 7 — CoCoA vs odometry-only vs RF-only (T = 100 s)",
+		Run:   func(o Options) (any, error) { return RunFig7(o) },
+	},
+	{
+		Name: "fig8", Flag: "8",
+		Title: "Figure 8 — error CDF at three time instances (T = 100 s)",
+		Run:   func(o Options) (any, error) { return RunFig8(o) },
+	},
+	{
+		Name: "fig9", Flag: "9",
+		Title: "Figure 9 — impact of beacon period T on error and energy",
+		Run:   func(o Options) (any, error) { return RunFig9(o) },
+	},
+	{
+		Name: "fig10", Flag: "10",
+		Title: "Figure 10 — impact of the number of localization devices",
+		Run:   func(o Options) (any, error) { return RunFig10(o) },
+	},
+	{
+		Name: "ext-secondary", Flag: "ext",
+		Title: "Extension — secondary beacons from localized unequipped robots",
+		Run:   func(o Options) (any, error) { return RunExtensionSecondary(o) },
+	},
+	{
+		Name: "ext-power", Flag: "power",
+		Title: "Extension — transmit power control (future work, Sec. 6)",
+		Run:   func(o Options) (any, error) { return RunExtensionPowerControl(o) },
+	},
+	{
+		Name: "ext-skew", Flag: "skew",
+		Title: "Extension — clock drift vs SYNC (why coordination needs MRMM)",
+		Run:   func(o Options) (any, error) { return RunExtensionClockSkew(o) },
+	},
+	{
+		Name: "ext-terrain", Flag: "terrain",
+		Title: "Extension — uneven terrain (paper introduction)",
+		Run:   func(o Options) (any, error) { return RunExtensionTerrain(o) },
+	},
+	{
+		Name: "ext-reports", Flag: "reports",
+		Title: "Extension — status reports to the controller (geographic unicast)",
+		Run:   func(o Options) (any, error) { return RunExtensionReporting(o) },
+	},
+	{
+		Name: "rob-failures", Flag: "failures",
+		Title: "Robustness — equipped-robot failures mid-run",
+		Run:   func(o Options) (any, error) { return RunFailureInjection(o) },
+	},
+	{
+		Name: "rob-replication", Flag: "failures",
+		Title: "Robustness — cross-seed replication of the headline metric",
+		Run:   func(o Options) (any, error) { return RunReplication(o, replicationSeeds) },
+	},
+	{
+		Name: "baseline", Flag: "baseline",
+		Title: "Baseline — CoCoA vs Cooperative Positioning (Kurazume et al.)",
+		Run:   func(o Options) (any, error) { return RunBaselineCoopPos(o) },
+	},
+	{
+		Name: "ablation-pruning", Flag: "ablations",
+		Title: "Ablation — MRMM mesh pruning vs plain ODMRP",
+		Run:   func(o Options) (any, error) { return RunAblationPruning(o) },
+	},
+	{
+		Name: "ablation-k", Flag: "ablations",
+		Title: "Ablation — beacon redundancy k",
+		Run:   func(o Options) (any, error) { return RunAblationK(o) },
+	},
+	{
+		Name: "ablation-grid", Flag: "ablations",
+		Title: "Ablation — Bayesian grid resolution",
+		Run:   func(o Options) (any, error) { return RunAblationGrid(o) },
+	},
+	{
+		Name: "ablation-localizer", Flag: "ablations",
+		Title: "Ablation — localization backend (grid vs Monte Carlo)",
+		Run:   func(o Options) (any, error) { return RunAblationLocalizer(o) },
+	},
+}

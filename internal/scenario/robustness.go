@@ -21,27 +21,33 @@ type FailureRow struct {
 // accuracy settles at the level of the reduced anchor set (Figure 10's
 // curve, reached dynamically).
 func RunFailureInjection(opts Options) ([]FailureRow, error) {
-	var out []FailureRow
-	for _, frac := range []float64{0, 0.4, 0.8} {
+	fracs := []float64{0, 0.4, 0.8}
+	cfgs := make([]cocoa.Config, len(fracs))
+	for i, frac := range fracs {
 		cfg := cocoa.DefaultConfig()
 		opts.apply(&cfg)
 		cfg.FailEquippedCount = int(frac * float64(cfg.NumEquipped))
 		cfg.FailAtS = cfg.DurationS / 3
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FailureRow, len(results))
+	for i, res := range results {
+		cfg := cfgs[i]
 		failAt := float64(cfg.FailAtS)
 		settle := failAt + float64(cfg.BeaconPeriodS)
 		var before, after float64
 		nb, na := 0, 0
-		for i, t := range res.Times {
+		for j, t := range res.Times {
 			switch {
 			case t < failAt:
-				before += res.AvgError[i]
+				before += res.AvgError[j]
 				nb++
 			case t > settle:
-				after += res.AvgError[i]
+				after += res.AvgError[j]
 				na++
 			}
 		}
@@ -52,7 +58,7 @@ func RunFailureInjection(opts Options) ([]FailureRow, error) {
 		if na > 0 {
 			row.MeanAfterM = after / float64(na)
 		}
-		out = append(out, row)
+		out[i] = row
 	}
 	return out, nil
 }
@@ -67,20 +73,26 @@ type Replication struct {
 	MaxM       float64
 }
 
-// RunReplication repeats the default CoCoA deployment across seeds.
+// RunReplication repeats the default CoCoA deployment across seeds — the
+// embarrassingly parallel workload the engine was built for: every seed is
+// an independent run and cross-seed statistics need many of them.
 func RunReplication(opts Options, seeds int) (Replication, error) {
 	if seeds <= 0 {
 		seeds = 5
 	}
-	vals := make([]float64, 0, seeds)
+	cfgs := make([]cocoa.Config, seeds)
 	for s := 0; s < seeds; s++ {
 		cfg := cocoa.DefaultConfig()
 		opts.apply(&cfg)
 		cfg.Seed = opts.seed() + int64(s)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return Replication{}, err
-		}
+		cfgs[s] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return Replication{}, err
+	}
+	vals := make([]float64, 0, seeds)
+	for _, res := range results {
 		vals = append(vals, res.MeanError())
 	}
 	rep := Replication{Seeds: seeds, MinM: math.Inf(1), MaxM: math.Inf(-1)}
@@ -114,23 +126,35 @@ type TerrainRow struct {
 // RF fixes neutralize it: odometry-only degrades with terrain roughness,
 // CoCoA barely moves.
 func RunExtensionTerrain(opts Options) ([]TerrainRow, error) {
-	var out []TerrainRow
+	type point struct {
+		mode cocoa.Mode
+		amp  float64
+	}
+	var points []point
 	for _, mode := range []cocoa.Mode{cocoa.ModeOdometryOnly, cocoa.ModeCombined} {
 		for _, amp := range []float64{0, 3} {
-			cfg := cocoa.DefaultConfig()
-			cfg.Mode = mode
-			cfg.TerrainAmplitude = amp
-			opts.apply(&cfg)
-			res, err := cocoa.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, TerrainRow{
-				Mode:       mode.String(),
-				Amplitude:  amp,
-				MeanErrorM: res.MeanError(),
-				FinalM:     res.AvgError[len(res.AvgError)-1],
-			})
+			points = append(points, point{mode, amp})
+		}
+	}
+	cfgs := make([]cocoa.Config, len(points))
+	for i, p := range points {
+		cfg := cocoa.DefaultConfig()
+		cfg.Mode = p.mode
+		cfg.TerrainAmplitude = p.amp
+		opts.apply(&cfg)
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TerrainRow, len(results))
+	for i, res := range results {
+		out[i] = TerrainRow{
+			Mode:       points[i].mode.String(),
+			Amplitude:  points[i].amp,
+			MeanErrorM: res.MeanError(),
+			FinalM:     res.AvgError[len(res.AvgError)-1],
 		}
 	}
 	return out, nil

@@ -10,6 +10,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"cocoa/internal/caltable"
@@ -19,6 +20,7 @@ import (
 	"cocoa/internal/mobility"
 	"cocoa/internal/odometry"
 	"cocoa/internal/radio"
+	"cocoa/internal/runner"
 	"cocoa/internal/sim"
 )
 
@@ -35,6 +37,25 @@ type Options struct {
 	CalibrationSamples int
 	// GridCellM overrides the Bayesian grid resolution.
 	GridCellM float64
+
+	// Parallelism caps how many of an experiment's independent simulation
+	// runs execute concurrently. Every run is seed-deterministic and
+	// results are ordered by sweep index, so any value produces
+	// byte-identical output; 0 or 1 preserves the historical serial
+	// execution exactly.
+	Parallelism int
+	// Progress, when non-nil, is invoked after each completed run of the
+	// current experiment with (done, total). Invocations are serialized.
+	Progress func(done, total int)
+}
+
+// runAll executes prepared sweep configs on the experiment engine,
+// returning results in config order.
+func (o Options) runAll(cfgs []cocoa.Config) ([]*cocoa.Result, error) {
+	return runner.Runs(context.Background(), runner.Options{
+		Parallelism: o.Parallelism,
+		Progress:    o.Progress,
+	}, cfgs)
 }
 
 func (o Options) seed() int64 {
@@ -85,10 +106,13 @@ func (s Series) Mean() float64 {
 	return sum / float64(len(s.Values))
 }
 
-// Max returns the curve's maximum value.
+// Max returns the curve's maximum value, or 0 for an empty curve.
 func (s Series) Max() float64 {
-	var m float64
-	for _, v := range s.Values {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
 		if v > m {
 			m = v
 		}
@@ -129,7 +153,7 @@ func RunFig1(opts Options) (*Fig1Result, error) {
 	if opts.CalibrationSamples > 0 {
 		calOpts.Samples = opts.CalibrationSamples
 	}
-	table, err := caltable.Calibrate(model, calOpts, sim.NewRNG(opts.seed()).Stream("calibration"))
+	table, err := caltable.Shared(model, calOpts, opts.seed())
 	if err != nil {
 		return nil, err
 	}
@@ -164,17 +188,22 @@ func sampleCurve(table *caltable.Table, rssi float64) (*PDFCurve, error) {
 // RunFig4 reproduces Figure 4: odometry-only average error over time for
 // maximum speeds 0.5 and 2.0 m/s.
 func RunFig4(opts Options) ([]Series, error) {
-	var out []Series
-	for _, vmax := range []float64{0.5, 2.0} {
+	speeds := []float64{0.5, 2.0}
+	cfgs := make([]cocoa.Config, len(speeds))
+	for i, vmax := range speeds {
 		cfg := cocoa.DefaultConfig()
 		cfg.Mode = cocoa.ModeOdometryOnly
 		cfg.VMax = vmax
 		opts.apply(&cfg)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, seriesFrom(fmt.Sprintf("vmax=%.1fm/s", vmax), res))
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(results))
+	for i, res := range results {
+		out[i] = seriesFrom(fmt.Sprintf("vmax=%.1fm/s", speeds[i]), res)
 	}
 	return out, nil
 }
@@ -230,17 +259,21 @@ var BeaconPeriods = []sim.Time{10, 50, 100, 300}
 // RunFig6 reproduces Figure 6: RF-only localization error over time for
 // each beacon period T.
 func RunFig6(opts Options) ([]Series, error) {
-	var out []Series
-	for _, T := range BeaconPeriods {
+	cfgs := make([]cocoa.Config, len(BeaconPeriods))
+	for i, T := range BeaconPeriods {
 		cfg := cocoa.DefaultConfig()
 		cfg.Mode = cocoa.ModeRFOnly
 		cfg.BeaconPeriodS = T
 		opts.apply(&cfg)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, seriesFrom(fmt.Sprintf("T=%.0fs", T), res))
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(results))
+	for i, res := range results {
+		out[i] = seriesFrom(fmt.Sprintf("T=%.0fs", BeaconPeriods[i]), res)
 	}
 	return out, nil
 }
@@ -260,20 +293,28 @@ type Fig7Result struct {
 // RunFig7 reproduces Figures 7(a) and 7(b): the three approaches at the
 // paper's two maximum speeds.
 func RunFig7(opts Options) ([]Fig7Result, error) {
-	var out []Fig7Result
-	for _, vmax := range []float64{0.5, 2.0} {
-		r := Fig7Result{VMax: vmax}
-		for _, mode := range []cocoa.Mode{cocoa.ModeOdometryOnly, cocoa.ModeRFOnly, cocoa.ModeCombined} {
+	speeds := []float64{0.5, 2.0}
+	modes := []cocoa.Mode{cocoa.ModeOdometryOnly, cocoa.ModeRFOnly, cocoa.ModeCombined}
+	var cfgs []cocoa.Config
+	for _, vmax := range speeds {
+		for _, mode := range modes {
 			cfg := cocoa.DefaultConfig()
 			cfg.Mode = mode
 			cfg.VMax = vmax
 			cfg.BeaconPeriodS = 100
 			opts.apply(&cfg)
-			res, err := cocoa.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s := seriesFrom(mode.String(), res)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Result, len(speeds))
+	for i, vmax := range speeds {
+		r := Fig7Result{VMax: vmax}
+		for j, mode := range modes {
+			s := seriesFrom(mode.String(), results[i*len(modes)+j])
 			switch mode {
 			case cocoa.ModeOdometryOnly:
 				r.Odometry = s
@@ -283,7 +324,7 @@ func RunFig7(opts Options) ([]Fig7Result, error) {
 				r.CoCoA = s
 			}
 		}
-		out = append(out, r)
+		out[i] = r
 	}
 	return out, nil
 }
@@ -307,10 +348,11 @@ func RunFig8(opts Options) ([]CDFSnapshot, error) {
 	cfg := cocoa.DefaultConfig()
 	cfg.BeaconPeriodS = 100
 	opts.apply(&cfg)
-	res, err := cocoa.Run(cfg)
+	results, err := opts.runAll([]cocoa.Config{cfg})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	// Pick a window boundary w in the back half of the run, mirroring the
 	// paper's choice of t=804s for a 1800s run (w=800, after the window
 	// at 800..803).
@@ -366,16 +408,21 @@ type Fig9Row struct {
 // RunFig9 reproduces Figures 9(a) and 9(b): CoCoA error over time and team
 // energy with/without coordination across the T sweep.
 func RunFig9(opts Options) ([]Fig9Row, error) {
-	var out []Fig9Row
-	for _, T := range BeaconPeriods {
+	cfgs := make([]cocoa.Config, len(BeaconPeriods))
+	for i, T := range BeaconPeriods {
 		cfg := cocoa.DefaultConfig()
 		cfg.BeaconPeriodS = T
 		opts.apply(&cfg)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig9Row{
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig9Row, len(results))
+	for i, res := range results {
+		T := BeaconPeriods[i]
+		out[i] = Fig9Row{
 			PeriodS:          float64(T),
 			ErrorSeries:      seriesFrom(fmt.Sprintf("T=%.0fs", T), res),
 			MeanErrorM:       res.MeanError(),
@@ -385,7 +432,7 @@ func RunFig9(opts Options) ([]Fig9Row, error) {
 			SavingsRatio:     res.EnergySavings(),
 			FixRate:          res.FixRate(),
 			MissedAsleepPkts: res.MAC.MissedAsleep,
-		})
+		}
 	}
 	return out, nil
 }
@@ -409,8 +456,8 @@ type Fig10Row struct {
 // RunFig10 reproduces Figure 10: CoCoA localization error as the number of
 // equipped robots varies, T = 100 s.
 func RunFig10(opts Options) ([]Fig10Row, error) {
-	var out []Fig10Row
-	for _, n := range EquippedCounts {
+	cfgs := make([]cocoa.Config, len(EquippedCounts))
+	for i, n := range EquippedCounts {
 		cfg := cocoa.DefaultConfig()
 		cfg.BeaconPeriodS = 100
 		cfg.NumEquipped = n
@@ -423,21 +470,25 @@ func RunFig10(opts Options) ([]Fig10Row, error) {
 				cfg.NumEquipped = 1
 			}
 		}
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig10Row, len(results))
+	for i, res := range results {
 		var p90 float64
-		if cdf, err := res.ErrorCDFAt(float64(cfg.DurationS) * 0.9); err == nil {
+		if cdf, err := res.ErrorCDFAt(float64(cfgs[i].DurationS) * 0.9); err == nil {
 			p90 = cdf.Quantile(0.9)
 		}
-		out = append(out, Fig10Row{
-			Equipped:     cfg.NumEquipped,
+		out[i] = Fig10Row{
+			Equipped:     cfgs[i].NumEquipped,
 			MeanErrorM:   res.MeanError(),
 			MaxAvgErrorM: res.MaxAvgError(),
 			FixRate:      res.FixRate(),
 			P90ErrorM:    p90,
-		})
+		}
 	}
 	return out, nil
 }
@@ -462,9 +513,8 @@ type ExtensionRow struct {
 // robots, where coverage gaps make extra (noisier) anchors worthwhile.
 func RunExtensionSecondary(opts Options) ([]ExtensionRow, error) {
 	counts := []int{5, 15}
-	var out []ExtensionRow
+	var cfgs []cocoa.Config
 	for _, n := range counts {
-		row := ExtensionRow{Equipped: n}
 		for _, secondary := range []bool{false, true} {
 			cfg := cocoa.DefaultConfig()
 			cfg.BeaconPeriodS = 100
@@ -477,22 +527,24 @@ func RunExtensionSecondary(opts Options) ([]ExtensionRow, error) {
 					cfg.NumEquipped = 1
 				}
 			}
-			res, err := cocoa.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if secondary {
-				row.SecondaryMeanM = res.MeanError()
-				row.SecondaryFixRate = res.FixRate()
-				row.ExtraBeaconsOnAir = res.MAC.Sent
-			} else {
-				row.BaselineMeanM = res.MeanError()
-				row.BaselineFixRate = res.FixRate()
-				row.ExtraBeaconsOnAir -= res.MAC.Sent
-			}
-			row.Equipped = cfg.NumEquipped
+			cfgs = append(cfgs, cfg)
 		}
-		out = append(out, row)
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExtensionRow, len(counts))
+	for i := range counts {
+		base, sec := results[2*i], results[2*i+1]
+		out[i] = ExtensionRow{
+			Equipped:          cfgs[2*i].NumEquipped,
+			BaselineMeanM:     base.MeanError(),
+			SecondaryMeanM:    sec.MeanError(),
+			BaselineFixRate:   base.FixRate(),
+			SecondaryFixRate:  sec.FixRate(),
+			ExtraBeaconsOnAir: sec.MAC.Sent - base.MAC.Sent,
+		}
 	}
 	return out, nil
 }
@@ -511,24 +563,29 @@ type AblationPruningRow struct {
 // RunAblationPruning measures SYNC dissemination cost with MRMM's
 // mobility-aware pruning versus plain ODMRP upstream selection.
 func RunAblationPruning(opts Options) ([]AblationPruningRow, error) {
-	var out []AblationPruningRow
-	for _, pruning := range []bool{true, false} {
+	variants := []bool{true, false}
+	cfgs := make([]cocoa.Config, len(variants))
+	for i, pruning := range variants {
 		cfg := cocoa.DefaultConfig()
 		cfg.MRMMPruning = pruning
 		opts.apply(&cfg)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPruningRow{
-			Pruning:       pruning,
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationPruningRow, len(results))
+	for i, res := range results {
+		out[i] = AblationPruningRow{
+			Pruning:       variants[i],
 			DataSent:      res.MRMM.DataSent,
 			DataDelivered: res.MRMM.DataDelivered,
 			QueriesSent:   res.MRMM.QueriesSent,
 			Forwarders:    res.MRMM.BecameForwarder,
 			SyncsReceived: res.SyncsReceived,
 			MeanErrorM:    res.MeanError(),
-		})
+		}
 	}
 	return out, nil
 }
@@ -545,22 +602,27 @@ type AblationKRow struct {
 // RunAblationK sweeps the per-window beacon count k in {1, 3, 5}: the
 // paper fixes k=3 "for reliability"; this quantifies the choice.
 func RunAblationK(opts Options) ([]AblationKRow, error) {
-	var out []AblationKRow
-	for _, k := range []int{1, 3, 5} {
+	ks := []int{1, 3, 5}
+	cfgs := make([]cocoa.Config, len(ks))
+	for i, k := range ks {
 		cfg := cocoa.DefaultConfig()
 		cfg.BeaconsPerWindow = k
 		opts.apply(&cfg)
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationKRow{
-			K:            k,
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationKRow, len(results))
+	for i, res := range results {
+		out[i] = AblationKRow{
+			K:            ks[i],
 			MeanErrorM:   res.MeanError(),
 			FixRate:      res.FixRate(),
 			CoordEnergyJ: res.TotalEnergyJ,
 			BeaconsSent:  res.MAC.Sent,
-		})
+		}
 	}
 	return out, nil
 }
@@ -574,23 +636,27 @@ type AblationGridRow struct {
 
 // RunAblationGrid sweeps the Bayesian grid resolution.
 func RunAblationGrid(opts Options) ([]AblationGridRow, error) {
-	var out []AblationGridRow
-	for _, cell := range []float64{1, 2, 4, 8} {
+	cells := []float64{1, 2, 4, 8}
+	cfgs := make([]cocoa.Config, len(cells))
+	for i, cell := range cells {
 		cfg := cocoa.DefaultConfig()
-		cfg.GridCellM = cell
 		opts.apply(&cfg)
 		cfg.GridCellM = cell // opts may override; the sweep wins
-		res, err := cocoa.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		nx := int(cfg.Area.Width() / cell)
-		ny := int(cfg.Area.Height() / cell)
-		out = append(out, AblationGridRow{
-			CellM:      cell,
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationGridRow, len(results))
+	for i, res := range results {
+		nx := int(cfgs[i].Area.Width() / cells[i])
+		ny := int(cfgs[i].Area.Height() / cells[i])
+		out[i] = AblationGridRow{
+			CellM:      cells[i],
 			MeanErrorM: res.MeanError(),
 			WallSenseN: nx * ny,
-		})
+		}
 	}
 	return out, nil
 }

@@ -27,6 +27,13 @@ func TestSeriesHelpers(t *testing.T) {
 	if got := (Series{}).Mean(); got != 0 {
 		t.Errorf("empty Mean = %v", got)
 	}
+	neg := Series{Times: []float64{0, 1}, Values: []float64{-5, -2}}
+	if got := neg.Max(); got != -2 {
+		t.Errorf("all-negative Max = %v, want -2", got)
+	}
+	if got := (Series{}).Max(); got != 0 {
+		t.Errorf("empty Max = %v", got)
+	}
 	if got := SteadyStateMean(s, 2); got != 6.5 {
 		t.Errorf("SteadyStateMean = %v", got)
 	}
