@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race fuzz check bench clean
 
 all: build
 
@@ -16,10 +16,20 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the gate a change must pass before it lands: static analysis
-# plus the full suite under the race detector (the experiment engine fans
-# runs out across goroutines, so -race is not optional here).
-check: vet race
+# fuzz gives each native fuzz target a short budget beyond its checked-in
+# corpus. Go only allows one -fuzz per invocation, so targets run in
+# sequence. Longer sessions: go test -fuzz=FuzzX -fuzztime=5m ./internal/...
+FUZZTIME ?= 5s
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzGilbertElliott -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run='^$$' -fuzz=FuzzEventlogRoundTrip -fuzztime=$(FUZZTIME) ./internal/eventlog
+
+# check is the gate a change must pass before it lands: static analysis,
+# the full suite under the race detector (the experiment engine fans runs
+# out across goroutines, so -race is not optional here), and a short fuzz
+# pass over the serialization and loss-channel targets.
+check: vet race fuzz
 
 # bench regenerates every paper figure at reduced scale, including the
 # serial-vs-parallel engine pair (BenchmarkReplication*).

@@ -39,7 +39,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cocoaexp", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,baseline,ablations or all")
+		fig      = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,faults,baseline,ablations or all")
 		quick    = fs.Bool("quick", false, "scaled-down runs (12 robots, 300 s)")
 		seed     = fs.Int64("seed", 1, "experiment seed")
 		parallel = fs.Int("parallel", 0, "concurrent simulation runs per experiment (0 = all CPUs, 1 = serial)")
@@ -114,6 +114,7 @@ var renderers = map[string]func(io.Writer, any) error{
 	"ext-reports":        renderReports,
 	"rob-failures":       renderFailures,
 	"rob-replication":    renderReplication,
+	"rob-faults":         renderFaults,
 	"baseline":           renderBaseline,
 	"ablation-pruning":   renderAblationPruning,
 	"ablation-k":         renderAblationK,
@@ -339,6 +340,22 @@ func renderFailures(w io.Writer, v any) error {
 		fmt.Fprintf(w, "  %10d %15.2f %14.2f %9.0f%%\n",
 			r.FailedEquipped, r.MeanBeforeM, r.MeanAfterM, 100*r.FixRate)
 	}
+	return nil
+}
+
+func renderFaults(w io.Writer, v any) error {
+	rows, err := result[[]cocoa.FaultRow](v)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %7s %8s %12s %11s %10s %8s %8s\n",
+		"loss", "crashed", "mean err(m)", "uncovered", "fix rate", "drops", "crashes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %6.0f%% %7.0f%% %12.2f %10.0f%% %9.0f%% %8d %8d\n",
+			100*r.LossRate, 100*r.CrashFraction, r.MeanErrorM,
+			100*r.Uncovered, 100*r.FixRate, r.FaultDrops, r.Crashes)
+	}
+	fmt.Fprintln(w, "  (expected: error and uncovered fraction rise with fault intensity; no collapse)")
 	return nil
 }
 

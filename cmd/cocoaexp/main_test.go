@@ -87,17 +87,13 @@ func TestRenderersCoverRegistry(t *testing.T) {
 	}
 }
 
-// -parallel must not change the bytes written: runs are seed-deterministic
-// and results land by sweep index, not completion order.
+// Golden determinism: -parallel must not change the bytes written for ANY
+// registered experiment — runs are seed-deterministic and results land by
+// sweep index, not completion order. Covering the whole registry means a
+// new experiment cannot ship with order-dependent output.
 func TestRunOutputIdenticalAcrossParallelism(t *testing.T) {
-	var serial, parallel bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "9", "-parallel", "1"}, &serial); err != nil {
-		t.Fatal(err)
-	}
-	if err := run([]string{"-quick", "-fig", "9", "-parallel", "4"}, &parallel); err != nil {
-		t.Fatal(err)
-	}
-	trim := func(s string) string {
+	trim := func(t *testing.T, s string) string {
+		t.Helper()
 		// The wall-time trailer is the one legitimately nondeterministic line.
 		i := strings.LastIndex(s, "\ntotal wall time")
 		if i < 0 {
@@ -105,8 +101,20 @@ func TestRunOutputIdenticalAcrossParallelism(t *testing.T) {
 		}
 		return s[:i]
 	}
-	if got, want := trim(parallel.String()), trim(serial.String()); got != want {
-		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	for _, d := range cocoa.Experiments() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			var serial, parallel bytes.Buffer
+			if err := run([]string{"-quick", "-fig", d.Name, "-parallel", "1"}, &serial); err != nil {
+				t.Fatal(err)
+			}
+			if err := run([]string{"-quick", "-fig", d.Name, "-parallel", "4"}, &parallel); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := trim(t, parallel.String()), trim(t, serial.String()); got != want {
+				t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
 	}
 }
 

@@ -123,7 +123,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if evWriter != nil {
-		if err := evWriter.Flush(); err != nil {
+		if err := evWriter.Close(); err != nil {
 			return err
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"cocoa/internal/caltable"
 	icocoa "cocoa/internal/cocoa"
 	"cocoa/internal/energy"
+	"cocoa/internal/faults"
 	"cocoa/internal/geom"
 	"cocoa/internal/georouting"
 	"cocoa/internal/mobility"
@@ -292,6 +293,8 @@ const (
 	EventWake        = icocoa.EventWake
 	EventSyncRecv    = icocoa.EventSyncRecv
 	EventFailure     = icocoa.EventFailure
+	EventCrash       = icocoa.EventCrash
+	EventRecover     = icocoa.EventRecover
 )
 
 // Robustness studies.
@@ -300,7 +303,31 @@ type (
 	FailureRow = scenario.FailureRow
 	// Replication holds cross-seed statistics of the headline metric.
 	Replication = scenario.Replication
+	// FaultRow is one (loss rate, crash fraction) cell of the fault sweep.
+	FaultRow = scenario.FaultRow
+	// FaultsConfig parameterizes the fault-injection layer
+	// (Config.Faults): bursty link loss, crash/recovery outages, RSSI
+	// outlier spikes, and initial clock skew. The zero value injects
+	// nothing.
+	FaultsConfig = faults.Config
+	// GEConfig is the Gilbert–Elliott two-state loss channel; build one
+	// with BurstyLoss or set the transition/loss probabilities directly.
+	GEConfig = faults.GEConfig
 )
+
+// BurstyLoss returns a Gilbert–Elliott configuration with the given
+// steady-state loss rate and mean burst length in frames, for
+// Config.Faults.GE.
+func BurstyLoss(lossRate, meanBurstFrames float64) GEConfig {
+	return faults.Bursty(lossRate, meanBurstFrames)
+}
+
+// RunFaultSweep crosses burst-loss rates with crash fractions and reports
+// the graceful-degradation surface (mean error and uncovered-robot
+// fraction vs fault intensity).
+func RunFaultSweep(opts ExperimentOptions) ([]FaultRow, error) {
+	return scenario.RunFaultSweep(opts)
+}
 
 // RunFailureInjection kills equipped robots mid-run and measures CoCoA's
 // graceful degradation.

@@ -1,0 +1,204 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+// Property/invariant tests: whatever sequence of beacon updates the grid
+// absorbs — including the outliers the fault layer injects — the belief
+// must remain a probability distribution: normalized to 1 within 1e-9,
+// every cell non-negative and finite.
+
+// gaussDensity mimics a calibrated Gaussian distance PDF, including the
+// moments interface that unlocks the annulus fast path.
+type gaussDensity struct{ mean, std float64 }
+
+func (g gaussDensity) Density(d float64) float64 {
+	z := (d - g.mean) / g.std
+	return math.Exp(-0.5*z*z) / (g.std * math.Sqrt(2*math.Pi))
+}
+func (g gaussDensity) Mean() float64    { return g.mean }
+func (g gaussDensity) Std() float64     { return g.std }
+func (g gaussDensity) IsGaussian() bool { return true }
+
+// flatDensity is a non-parametric constant PDF (the multipath regime's
+// tabulated shape, flattened to its extreme).
+type flatDensity struct{ v float64 }
+
+func (f flatDensity) Density(float64) float64 { return f.v }
+
+// spikeDensity is an adversarial PDF: enormous mass in a thin shell, zero
+// elsewhere — the shape an RSSI outlier produces after table lookup.
+type spikeDensity struct{ at float64 }
+
+func (s spikeDensity) Density(d float64) float64 {
+	if math.Abs(d-s.at) < 0.5 {
+		return 1e12
+	}
+	return 0
+}
+
+// nanDensity poisons every evaluation — the worst imaginable table entry.
+// The constraint floor shields the grid: a NaN density never beats the
+// floor, so the belief is renormalized unchanged.
+type nanDensity struct{}
+
+func (nanDensity) Density(float64) float64 { return math.NaN() }
+
+// infDensity overflows the constraint product, forcing the collapse
+// fallback (sum becomes Inf) and the uniform reset.
+type infDensity struct{}
+
+func (infDensity) Density(float64) float64 { return math.Inf(1) }
+
+// checkInvariants asserts the belief is a well-formed distribution.
+func checkInvariants(t *testing.T, g *Grid, step string) {
+	t.Helper()
+	if total := g.TotalProbability(); math.Abs(total-1) > 1e-9 {
+		t.Fatalf("%s: total probability %v drifted from 1", step, total)
+	}
+	for i, pi := range g.p {
+		if math.IsNaN(pi) || math.IsInf(pi, 0) {
+			t.Fatalf("%s: cell %d is %v", step, i, pi)
+		}
+		if pi < 0 {
+			t.Fatalf("%s: cell %d negative: %v", step, i, pi)
+		}
+	}
+	if est := g.Estimate(); !g.area.Contains(est) {
+		t.Fatalf("%s: estimate %v escaped the area", step, est)
+	}
+}
+
+// randomDensity draws one of the density shapes, outliers included.
+func randomDensity(rng *sim.RNG, diag float64) DistanceDensity {
+	switch rng.Intn(10) {
+	case 0:
+		return spikeDensity{at: rng.Uniform(0, 1.5*diag)}
+	case 1:
+		return flatDensity{v: rng.Uniform(0, 1e-9)} // near-zero everywhere
+	case 2:
+		return nanDensity{}
+	case 3:
+		return infDensity{}
+	case 4:
+		return gaussDensity{mean: rng.Uniform(0, diag), std: 1e-9} // degenerate shell
+	default:
+		return gaussDensity{
+			mean: rng.Uniform(1, diag),
+			std:  rng.Uniform(0.5, 15),
+		}
+	}
+}
+
+// TestBeliefInvariantsUnderRandomSequences drives the grid through long
+// randomized update sequences at several fixed seeds and asserts the
+// distribution invariants after every single operation.
+func TestBeliefInvariantsUnderRandomSequences(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 17, 424242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed).Stream("bayes-property")
+			area := geom.Square(120)
+			g, err := NewGrid(area, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diag := area.Diagonal()
+			for step := 0; step < 300; step++ {
+				label := fmt.Sprintf("step %d", step)
+				switch {
+				case rng.Bool(0.08):
+					g.Reset()
+					if g.BeaconCount() != 0 {
+						t.Fatalf("%s: reset kept beacon count", label)
+					}
+				default:
+					// Beacon positions may lie outside the area (a robot
+					// just beyond the boundary still beacons in).
+					pos := geom.Vec2{
+						X: rng.Uniform(-30, 150),
+						Y: rng.Uniform(-30, 150),
+					}
+					g.ApplyBeacon(pos, randomDensity(rng, diag))
+					if g.BeaconCount() < 1 {
+						t.Fatalf("%s: beacon not counted", label)
+					}
+				}
+				checkInvariants(t, g, label)
+			}
+		})
+	}
+}
+
+// The constraint floor shields the belief from degenerate densities: a
+// NaN or all-zero PDF loses to the floor in every cell, so the update is
+// a uniform multiply followed by renormalization — the belief must come
+// out unchanged (and still normalized).
+func TestDegenerateDensityLeavesBeliefUnchanged(t *testing.T) {
+	g, err := NewGrid(geom.Square(80), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape the belief first so "unchanged" is a nontrivial claim.
+	g.ApplyBeacon(geom.Vec2{X: 40, Y: 40}, gaussDensity{mean: 10, std: 3})
+	before := make([]float64, len(g.p))
+	copy(before, g.p)
+	for _, pdf := range []DistanceDensity{nanDensity{}, flatDensity{v: 0}} {
+		g.ApplyBeacon(geom.Vec2{X: 10, Y: 10}, pdf)
+		checkInvariants(t, g, fmt.Sprintf("after %T", pdf))
+		for i, pi := range g.p {
+			if math.Abs(pi-before[i]) > 1e-12 {
+				t.Fatalf("%T: cell %d moved %v -> %v", pdf, i, before[i], pi)
+			}
+		}
+	}
+}
+
+// An overflowing density drives the constraint sum to Inf; the grid must
+// catch the collapse and fall back to the uniform prior, not emit NaNs.
+func TestCollapseFallsBackToUniform(t *testing.T) {
+	g, err := NewGrid(geom.Square(80), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyBeacon(geom.Vec2{X: 40, Y: 40}, gaussDensity{mean: 10, std: 3})
+	g.ApplyBeacon(geom.Vec2{X: 10, Y: 10}, infDensity{})
+	checkInvariants(t, g, "after collapse")
+	u := 1 / float64(len(g.p))
+	for i, pi := range g.p {
+		if pi != u {
+			t.Fatalf("cell %d = %v, want uniform %v", i, pi, u)
+		}
+	}
+	if g.BeaconCount() != 1 {
+		t.Fatalf("beacon count = %d after collapse reset, want 1", g.BeaconCount())
+	}
+}
+
+// Outlier spikes between honest beacons must not break normalization or
+// the >=3 beacon readiness rule.
+func TestOutliersInterleavedWithHonestBeacons(t *testing.T) {
+	g, err := NewGrid(geom.Square(100), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := geom.Vec2{X: 30, Y: 70}
+	anchors := []geom.Vec2{{X: 10, Y: 10}, {X: 90, Y: 20}, {X: 50, Y: 95}}
+	for i, a := range anchors {
+		g.ApplyBeacon(a, gaussDensity{mean: a.Dist(truth), std: 4})
+		checkInvariants(t, g, fmt.Sprintf("honest %d", i))
+		// An outlier after every honest beacon: the RSSI spike maps to a
+		// wildly wrong distance.
+		g.ApplyBeacon(a, gaussDensity{mean: a.Dist(truth) + 60, std: 2})
+		checkInvariants(t, g, fmt.Sprintf("outlier %d", i))
+	}
+	if !g.Ready() {
+		t.Fatalf("beacon count %d below readiness despite 6 updates", g.BeaconCount())
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"cocoa/internal/caltable"
 	"cocoa/internal/energy"
+	"cocoa/internal/faults"
 	"cocoa/internal/geom"
 	"cocoa/internal/mobility"
 	"cocoa/internal/mrmm"
@@ -180,6 +181,14 @@ type Config struct {
 	// MRMMPruning toggles MRMM's mobility-aware mesh pruning (false
 	// degrades SYNC dissemination to plain ODMRP) for the ablation.
 	MRMMPruning bool
+
+	// Faults injects unreliable-network conditions: bursty link loss,
+	// robot crash/recovery outages, RSSI outlier spikes, and per-robot
+	// clock skew. The zero value (the default) injects nothing and leaves
+	// every RNG stream untouched, so fault-free runs are byte-identical
+	// to configurations predating the faults layer. Faults apply to the
+	// RF modes only; odometry-only robots have no radio to degrade.
+	Faults faults.Config
 }
 
 // DefaultConfig returns the paper's evaluation setup: 50 robots in a
@@ -268,6 +277,9 @@ func (c Config) Validate() error {
 		if err := c.Calibration.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

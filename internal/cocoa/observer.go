@@ -36,6 +36,8 @@ const (
 	EventWake        EventKind = "wake"
 	EventSyncRecv    EventKind = "sync-received"
 	EventFailure     EventKind = "failure"
+	EventCrash       EventKind = "crash"
+	EventRecover     EventKind = "recover"
 )
 
 // Observer consumes run events. Implementations must be fast; they run
@@ -82,4 +84,29 @@ func (t *Team) failRobot(now sim.Time, r *robot) {
 	r.way.HoldUntil(now, t.cfg.DurationS+1)
 	r.nic.PowerOff()
 	t.emitSimple(EventFailure, r.id)
+}
+
+// crashRobot starts a fault-injection outage: the radio powers off (no
+// beacons, no forwarding, no energy draw), but unlike failRobot the robot
+// keeps driving — its odometry drifts uncorrected until recovery.
+func (t *Team) crashRobot(r *robot) {
+	if r.failed || r.crashed {
+		return
+	}
+	r.crashed = true
+	t.crashes++
+	r.nic.PowerOff()
+	t.emitSimple(EventCrash, r.id)
+}
+
+// recoverRobot ends an outage: the radio comes back awake and the robot
+// stays up until the next window end re-arms its sleep schedule (it never
+// un-learned the schedule; its clock just kept drifting while down).
+func (t *Team) recoverRobot(r *robot) {
+	if r.failed || !r.crashed {
+		return
+	}
+	r.crashed = false
+	r.nic.Wake()
+	t.emitSimple(EventRecover, r.id)
 }

@@ -46,6 +46,12 @@ type Result struct {
 	ReportsDelivered int
 	ReportHopsTotal  int
 
+	// Fault-injection outcome (Config.Faults). All zero on clean runs.
+	Crashes      int // crash events that fired
+	FaultDrops   int // frames eaten by the bursty channel after MAC decode
+	RSSIOutliers int // beacons whose RSSI carried an injected spike
+	NeverFixed   int // tracked robots that finished without ever fixing
+
 	// Final state for every robot (indexed by robot ID): where it really
 	// ended and where it believed it was. Downstream consumers (e.g. the
 	// geographic-routing example) build on these.
@@ -146,4 +152,17 @@ func (r *Result) FixRate() float64 {
 		return math.NaN()
 	}
 	return float64(r.Fixes) / float64(total)
+}
+
+// UncoveredFraction returns the fraction of (robot, window) localization
+// opportunities that ended without a fix — the robustness sweep's
+// coverage metric. Windows a robot spends crashed count as uncovered: a
+// silent robot is exactly what the fault model is probing. Runs without
+// RF windows return NaN.
+func (r *Result) UncoveredFraction() float64 {
+	total := r.Fixes + r.MissedWindows
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.MissedWindows) / float64(total)
 }

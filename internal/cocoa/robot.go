@@ -84,6 +84,10 @@ type robot struct {
 	syncedThisPeriod bool
 	// failed marks a robot that died mid-run (failure injection).
 	failed bool
+	// crashed marks a robot inside a fault-injection outage: radio off,
+	// no beacons, no timers — but mobility and dead reckoning continue,
+	// so its odometry keeps drifting until recovery brings RF fixes back.
+	crashed bool
 
 	// Controller reporting (Config.EnableReporting).
 	agent       *geounicast.Agent

@@ -6,6 +6,7 @@ import (
 	"cocoa/internal/bayes"
 	"cocoa/internal/caltable"
 	"cocoa/internal/ekf"
+	"cocoa/internal/faults"
 	"cocoa/internal/geom"
 	"cocoa/internal/geounicast"
 	"cocoa/internal/mac"
@@ -32,6 +33,13 @@ type Team struct {
 
 	observers []Observer
 	terrain   *terrain.Field
+
+	// Fault injection (Config.Faults). links holds the per-robot channel
+	// filters so finish can collect their counters; outages is the crash
+	// schedule armed in Run.
+	links   []*faults.Link
+	outages []faults.Outage
+	crashes int
 
 	// Controller-reporting counters (Config.EnableReporting).
 	reportsSent      int
@@ -187,6 +195,33 @@ func NewTeam(cfg Config) (*Team, error) {
 	if needRF && t.robots[t.syncID].equipped {
 		t.robots[t.syncID].scheduleKnown = true
 	}
+
+	// Fault injection. Every source draws from its own named stream, so
+	// enabling one fault kind never perturbs another — and the zero config
+	// touches no stream at all, keeping fault-free runs byte-identical.
+	if needRF && cfg.Faults.Enabled() {
+		if cfg.Faults.LinkEnabled() {
+			for _, r := range t.robots {
+				link := faults.NewLink(cfg.Faults,
+					root.StreamN("fault-loss", r.id),
+					root.StreamN("fault-outlier", r.id),
+					network.KindBeacon)
+				r.nic.SetFaultFilter(link)
+				t.links = append(t.links, link)
+			}
+		}
+		if cfg.Faults.SkewMaxS > 0 {
+			for _, r := range t.robots {
+				if r.id == t.syncID {
+					continue // the Sync robot defines the time base
+				}
+				r.clockErr = root.StreamN("fault-skew", r.id).
+					Uniform(-cfg.Faults.SkewMaxS, cfg.Faults.SkewMaxS)
+			}
+		}
+		t.outages = faults.CrashSchedule(cfg.Faults, cfg.NumRobots, t.syncID,
+			float64(cfg.DurationS), root.Stream("fault-crash"))
+	}
 	return t, nil
 }
 
@@ -241,6 +276,15 @@ func (t *Team) Run() (*Result, error) {
 				t.failRobot(t.sim.Now(), t.robots[cfg.NumEquipped-1-i])
 			}
 		})
+	}
+
+	// Crash/recovery outages from the fault schedule (Config.Faults).
+	for _, o := range t.outages {
+		o := o
+		t.sim.At(sim.Time(o.StartS), func() { t.crashRobot(t.robots[o.Robot]) })
+		if o.EndS < float64(cfg.DurationS) {
+			t.sim.At(sim.Time(o.EndS), func() { t.recoverRobot(t.robots[o.Robot]) })
+		}
 	}
 
 	// Metric sampling and odometry stepping, once per sample interval.
@@ -323,7 +367,7 @@ func (t *Team) startWindow(w sim.Time) {
 	// Punctual and early robots are awake by now (their wake timers fired
 	// at w+clockErr <= w); late robots wake when their skewed timer fires.
 	for _, r := range t.robots {
-		if !r.failed && r.clockErr <= 0 {
+		if !r.failed && !r.crashed && r.clockErr <= 0 {
 			r.nic.Wake()
 		}
 	}
@@ -353,7 +397,7 @@ func (t *Team) startWindow(w sim.Time) {
 	}
 	for _, r := range t.robots {
 		r := r
-		if r.failed {
+		if r.failed || r.crashed {
 			continue
 		}
 		secondary := cfg.SecondaryBeacons && !r.equipped && r.haveFix
@@ -380,7 +424,7 @@ func (t *Team) startWindow(w sim.Time) {
 func (t *Team) scheduleReporting(usable, guard float64) {
 	for _, r := range t.robots {
 		r := r
-		if r.failed || r.agent == nil {
+		if r.failed || r.crashed || r.agent == nil {
 			continue
 		}
 		skew := r.clockErr
@@ -404,6 +448,9 @@ func (t *Team) scheduleReporting(usable, guard float64) {
 
 // sendBeacon broadcasts one localization beacon from robot r.
 func (t *Team) sendBeacon(r *robot) {
+	if r.failed || r.crashed {
+		return // crashed after this beacon was scheduled
+	}
 	now := t.sim.Now()
 	pos := r.truePos(now)
 	payload := BeaconPayload{Sender: r.id, Pos: pos}
@@ -452,6 +499,12 @@ func (t *Team) endWindow(w sim.Time) {
 		}
 		r.syncedThisPeriod = false
 
+		if r.crashed {
+			// An outage spans this window: the radio is off, so no sleep
+			// or wake timers — recovery re-wakes it directly. The clock
+			// kept drifting above; the missed fix was counted above.
+			continue
+		}
 		if !cfg.Coordinated || !r.scheduleKnown {
 			continue // stays awake; no timers to arm
 		}
@@ -461,7 +514,7 @@ func (t *Team) endWindow(w sim.Time) {
 			sleepAt = now
 		}
 		t.sim.At(sleepAt, func() {
-			if r.failed {
+			if r.failed || r.crashed {
 				return
 			}
 			r.nic.Sleep()
@@ -473,7 +526,7 @@ func (t *Team) endWindow(w sim.Time) {
 		}
 		if wakeAt < float64(cfg.DurationS) {
 			t.sim.At(wakeAt, func() {
-				if r.failed {
+				if r.failed || r.crashed {
 					return
 				}
 				r.nic.Wake()
@@ -499,6 +552,9 @@ func (t *Team) finish(res *Result) {
 		res.MissedWindows += r.missedWindows
 		res.BeaconsApplied += r.beaconsApplied
 		res.SyncsReceived += r.syncsReceived
+		if r.loc != nil && !r.haveFix {
+			res.NeverFixed++
+		}
 		if r.proto != nil {
 			s := r.proto.Stats()
 			res.MRMM.QueriesSent += s.QueriesSent
@@ -512,6 +568,11 @@ func (t *Team) finish(res *Result) {
 	res.ReportsSent = t.reportsSent
 	res.ReportsDelivered = t.reportsDelivered
 	res.ReportHopsTotal = t.reportHops
+	res.Crashes = t.crashes
+	for _, l := range t.links {
+		res.FaultDrops += l.Drops()
+		res.RSSIOutliers += l.Outliers()
+	}
 }
 
 // Run is the package-level convenience: assemble and run in one call.

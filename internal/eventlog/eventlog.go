@@ -44,13 +44,26 @@ func (w *Writer) Observer() cocoa.Observer {
 // Count returns the number of events written so far.
 func (w *Writer) Count() int { return w.n }
 
-// Flush drains the buffer and reports any write error encountered.
+// Flush drains the buffer and reports the first error the writer hit —
+// a failed event encode inside Observer() (which otherwise stays invisible
+// until here) or the drain itself. The error is sticky: every later Flush
+// or Close reports it again.
 func (w *Writer) Flush() error {
-	if w.err != nil {
-		return w.err
+	// Drain even after a failed encode: the encoder marshals before it
+	// writes, so the buffer only ever holds complete event lines — the
+	// valid prefix still reaches the sink.
+	ferr := w.bw.Flush()
+	if w.err == nil {
+		w.err = ferr
 	}
-	return w.bw.Flush()
+	return w.err
 }
+
+// Close finalizes the log by flushing. It does not close the underlying
+// writer — the caller retains ownership (NewWriter's contract). It exists
+// so callers can defer one cleanup call and still see a swallowed encode
+// error.
+func (w *Writer) Close() error { return w.Flush() }
 
 // Read parses a JSONL event stream back into events, for tooling and
 // tests.

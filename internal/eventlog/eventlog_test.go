@@ -2,6 +2,8 @@ package eventlog
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"sort"
 	"strings"
 	"testing"
@@ -108,6 +110,86 @@ func TestFixEventsCarryMeasurements(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no fix events")
+	}
+}
+
+// A non-encodable event (NaN is not valid JSON) must poison the writer:
+// later events are dropped, Count stays at the successes, and the error
+// that Observer() swallowed surfaces from Flush and Close alike.
+func TestEncodeErrorStickyAndCounted(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	obs := w.Observer()
+
+	obs(cocoa.Event{TimeS: 1, Kind: cocoa.EventFix, Robot: 3, ErrM: 2.5})
+	obs(cocoa.Event{TimeS: 2, Kind: cocoa.EventFix, ErrM: math.NaN()}) // unencodable
+	obs(cocoa.Event{TimeS: 3, Kind: cocoa.EventFix, Robot: 4})         // after poison
+
+	if w.Count() != 1 {
+		t.Errorf("Count = %d, want 1 (only the pre-error event)", w.Count())
+	}
+	ferr := w.Flush()
+	if ferr == nil {
+		t.Fatal("Flush returned nil after a failed encode")
+	}
+	if cerr := w.Close(); !errors.Is(cerr, ferr) && cerr.Error() != ferr.Error() {
+		t.Errorf("Close error %v differs from Flush error %v", cerr, ferr)
+	}
+	// The surviving stream holds exactly the successfully encoded prefix.
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].TimeS != 1 {
+		t.Errorf("stream = %+v, want only the first event", events)
+	}
+}
+
+// failWriter errors on every write, standing in for a full disk.
+type failWriter struct{ writes int }
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.writes++
+	return 0, errDiskFull
+}
+
+// A failing sink surfaces from Flush and stays sticky on repeat calls.
+func TestFlushErrorSticky(t *testing.T) {
+	fw := &failWriter{}
+	w := NewWriter(fw)
+	w.Observer()(cocoa.Event{TimeS: 1, Kind: cocoa.EventWake})
+	if w.Count() != 1 {
+		t.Errorf("Count = %d, want 1 (buffered encode succeeded)", w.Count())
+	}
+	if err := w.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Flush error = %v, want errDiskFull", err)
+	}
+	if err := w.Close(); !errors.Is(err, errDiskFull) {
+		t.Errorf("Close after failed Flush = %v, want sticky errDiskFull", err)
+	}
+	if fw.writes != 1 {
+		t.Errorf("sink written to %d times after the first failure", fw.writes)
+	}
+}
+
+func TestCloseFlushesCleanStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Observer()(cocoa.Event{TimeS: 1, Kind: cocoa.EventSleep, Robot: 2})
+	if buf.Len() != 0 {
+		t.Error("event bypassed the buffer before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Robot != 2 {
+		t.Errorf("events = %+v", events)
 	}
 }
 

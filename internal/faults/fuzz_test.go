@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"cocoa/internal/sim"
+)
+
+// FuzzGilbertElliott drives the loss chain with arbitrary (clamped)
+// parameters and checks the invariants every parameterization must hold:
+// observed loss and bad-state occupancy stay in [0, 1], the analytic
+// steady state stays in [0, 1], and the drop sequence is a pure function
+// of the seed.
+func FuzzGilbertElliott(f *testing.F) {
+	f.Add(int64(1), 0.1, 0.25, 0.0, 1.0, uint(500))
+	f.Add(int64(42), 0.05, 0.0, 0.0, 1.0, uint(100))
+	f.Add(int64(-7), 1.0, 1.0, 1.0, 1.0, uint(64))
+	f.Add(int64(0), 0.0, 0.0, 0.0, 0.0, uint(10))
+	f.Add(int64(99), 0.5, 0.01, 0.3, 0.9, uint(2000))
+	f.Fuzz(func(t *testing.T, seed int64, pGB, pBG, lossG, lossB float64, n uint) {
+		clamp := func(p float64) float64 {
+			if !(p >= 0) { // also catches NaN
+				return 0
+			}
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		cfg := GEConfig{
+			PGoodToBad: clamp(pGB),
+			PBadToGood: clamp(pBG),
+			LossGood:   clamp(lossG),
+			LossBad:    clamp(lossB),
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("clamped config invalid: %v", err)
+		}
+		if ss := cfg.SteadyStateLoss(); ss < 0 || ss > 1 || math.IsNaN(ss) {
+			t.Fatalf("SteadyStateLoss %v out of [0,1] for %+v", ss, cfg)
+		}
+		if occ := cfg.BadOccupancy(); occ < 0 || occ > 1 || math.IsNaN(occ) {
+			t.Fatalf("BadOccupancy %v out of [0,1] for %+v", occ, cfg)
+		}
+
+		steps := int(n%2048) + 1
+		run := func() []bool {
+			ge := NewGilbertElliott(cfg, sim.NewRNG(seed).Stream("fuzz-ge"))
+			out := make([]bool, steps)
+			for i := range out {
+				out[i] = ge.Drop()
+				if l := ge.ObservedLoss(); l < 0 || l > 1 {
+					t.Fatalf("observed loss %v out of [0,1]", l)
+				}
+				if o := ge.ObservedBadOccupancy(); o < 0 || o > 1 {
+					t.Fatalf("occupancy %v out of [0,1]", o)
+				}
+			}
+			if ge.Frames() != steps {
+				t.Fatalf("frames %d, want %d", ge.Frames(), steps)
+			}
+			if ge.Dropped() > steps {
+				t.Fatalf("dropped %d exceeds frames %d", ge.Dropped(), steps)
+			}
+			return out
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same seed diverged at frame %d", i)
+			}
+		}
+	})
+}

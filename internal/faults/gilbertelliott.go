@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"fmt"
+
+	"cocoa/internal/sim"
+)
+
+// GEConfig parameterizes a Gilbert–Elliott two-state loss channel: a
+// Markov chain alternating between a good and a bad state, with a
+// per-frame drop probability in each. The chain advances once per
+// delivered frame, so burst lengths are geometric in frames — the
+// classic model for the correlated losses real multipath channels show.
+type GEConfig struct {
+	// PGoodToBad is the per-frame probability of entering the bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-frame probability of leaving the bad state;
+	// its inverse is the mean burst length in frames.
+	PBadToGood float64
+	// LossGood is the frame-drop probability while in the good state.
+	LossGood float64
+	// LossBad is the frame-drop probability while in the bad state.
+	LossBad float64
+}
+
+// DefaultBurstFrames is the mean bad-burst length Bursty uses when the
+// caller passes a non-positive burst length.
+const DefaultBurstFrames = 4.0
+
+// Bursty derives the standard sweep parameterization from a target
+// steady-state loss rate: the bad state always drops (LossBad = 1), the
+// good state never does, the mean burst lasts meanBurstFrames frames, and
+// PGoodToBad is solved so the chain's stationary bad-state occupancy —
+// hence the long-run loss fraction — equals lossRate.
+func Bursty(lossRate, meanBurstFrames float64) GEConfig {
+	if lossRate <= 0 {
+		return GEConfig{}
+	}
+	if lossRate >= 1 {
+		lossRate = 0.99
+	}
+	if meanBurstFrames <= 1 {
+		meanBurstFrames = DefaultBurstFrames
+	}
+	pBG := 1 / meanBurstFrames
+	return GEConfig{
+		PGoodToBad: lossRate * pBG / (1 - lossRate),
+		PBadToGood: pBG,
+		LossGood:   0,
+		LossBad:    1,
+	}
+}
+
+// Enabled reports whether the channel can ever drop a frame.
+func (c GEConfig) Enabled() bool {
+	return c.LossGood > 0 || (c.LossBad > 0 && c.PGoodToBad > 0)
+}
+
+// Validate reports whether the parameters are probabilities.
+func (c GEConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodToBad", c.PGoodToBad},
+		{"PBadToGood", c.PBadToGood},
+		{"LossGood", c.LossGood},
+		{"LossBad", c.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("faults: GE %s %v out of [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// BadOccupancy returns the chain's stationary probability of the bad
+// state. A chain that can never leave the good state reports zero.
+func (c GEConfig) BadOccupancy() float64 {
+	denom := c.PGoodToBad + c.PBadToGood
+	if denom <= 0 {
+		return 0
+	}
+	return c.PGoodToBad / denom
+}
+
+// SteadyStateLoss returns the long-run frame-loss fraction the chain
+// converges to.
+func (c GEConfig) SteadyStateLoss() float64 {
+	pi := c.BadOccupancy()
+	return (1-pi)*c.LossGood + pi*c.LossBad
+}
+
+// GilbertElliott is one running loss process. Each robot's receive path
+// owns its own instance over a dedicated RNG stream.
+type GilbertElliott struct {
+	cfg GEConfig
+	rng *sim.RNG
+	bad bool
+
+	frames    int
+	badFrames int
+	dropped   int
+}
+
+// NewGilbertElliott starts the process in the good state.
+func NewGilbertElliott(cfg GEConfig, rng *sim.RNG) *GilbertElliott {
+	return &GilbertElliott{cfg: cfg, rng: rng}
+}
+
+// Drop advances the chain one frame and reports whether that frame is
+// lost. The state transition is evaluated before the loss draw, so a
+// frame arriving right as the channel degrades is already at risk.
+func (g *GilbertElliott) Drop() bool {
+	if g.bad {
+		if g.rng.Bool(g.cfg.PBadToGood) {
+			g.bad = false
+		}
+	} else if g.rng.Bool(g.cfg.PGoodToBad) {
+		g.bad = true
+	}
+	g.frames++
+	p := g.cfg.LossGood
+	if g.bad {
+		g.badFrames++
+		p = g.cfg.LossBad
+	}
+	if g.rng.Bool(p) {
+		g.dropped++
+		return true
+	}
+	return false
+}
+
+// Frames returns the number of frames the process has judged.
+func (g *GilbertElliott) Frames() int { return g.frames }
+
+// Dropped returns the number of frames lost so far.
+func (g *GilbertElliott) Dropped() int { return g.dropped }
+
+// ObservedBadOccupancy returns the fraction of judged frames that met the
+// bad state — an empirical estimate of BadOccupancy, always in [0, 1].
+func (g *GilbertElliott) ObservedBadOccupancy() float64 {
+	if g.frames == 0 {
+		return 0
+	}
+	return float64(g.badFrames) / float64(g.frames)
+}
+
+// ObservedLoss returns the fraction of judged frames dropped so far,
+// always in [0, 1].
+func (g *GilbertElliott) ObservedLoss() float64 {
+	if g.frames == 0 {
+		return 0
+	}
+	return float64(g.dropped) / float64(g.frames)
+}

@@ -68,6 +68,16 @@ func (m Mode) String() string {
 // strength in dBm — the input to the RF localization algorithm.
 type Handler func(f mac.Frame, rssiDBm float64)
 
+// FaultFilter intercepts frames after MAC decode and before handler
+// dispatch: the fault-injection layer drops frames (bursty link loss) and
+// perturbs the reported RSSI (outlier spikes) here, so every protocol
+// above the NIC — beaconing, MRMM, SYNC, geographic unicast — sees the
+// same unreliable channel. It returns the (possibly perturbed) RSSI and
+// whether the frame is lost.
+type FaultFilter interface {
+	Incoming(kind int, rssiDBm float64) (rssi float64, drop bool)
+}
+
 // NIC is one robot's radio interface.
 type NIC struct {
 	id    int
@@ -80,10 +90,12 @@ type NIC struct {
 	txDepth  int
 	rxDepth  int
 	handlers map[int]Handler
+	faults   FaultFilter
 
-	sent     int
-	received int
-	sendErrs int
+	sent       int
+	received   int
+	sendErrs   int
+	faultDrops int
 }
 
 var _ mac.Endpoint = (*NIC)(nil)
@@ -117,6 +129,15 @@ func (n *NIC) Meter() *energy.Meter { return n.meter }
 // Handle registers the protocol handler for a frame kind, replacing any
 // previous handler.
 func (n *NIC) Handle(kind int, h Handler) { n.handlers[kind] = h }
+
+// SetFaultFilter installs the receive-path fault injector; nil (the
+// default) delivers every decoded frame untouched. The energy meter still
+// bills the reception of a fault-dropped frame: the radio spent the Rx
+// power before the corrupted payload failed its checksum.
+func (n *NIC) SetFaultFilter(f FaultFilter) { n.faults = f }
+
+// FaultDrops reports frames eaten by the fault filter after MAC decode.
+func (n *NIC) FaultDrops() int { return n.faultDrops }
 
 // Sleep puts the radio into sleep mode. Frames arriving while asleep are
 // lost; Send fails.
@@ -187,8 +208,17 @@ func (n *NIC) EndRx() {
 	n.updateMeter()
 }
 
-// Deliver implements mac.Endpoint: dispatch to the registered handler.
+// Deliver implements mac.Endpoint: dispatch to the registered handler,
+// after the fault filter (when installed) has had its say.
 func (n *NIC) Deliver(f mac.Frame, rssiDBm float64) {
+	if n.faults != nil {
+		rssi, drop := n.faults.Incoming(f.Kind, rssiDBm)
+		if drop {
+			n.faultDrops++
+			return
+		}
+		rssiDBm = rssi
+	}
 	n.received++
 	if h, ok := n.handlers[f.Kind]; ok {
 		h(f, rssiDBm)

@@ -213,6 +213,73 @@ func TestListeningSemantics(t *testing.T) {
 	a.EndRx()
 }
 
+// scriptedFilter drops every frame whose index is in drop and adds rssiAdd
+// to the rest — a deterministic stand-in for the faults layer.
+type scriptedFilter struct {
+	n       int
+	drop    map[int]bool
+	rssiAdd float64
+}
+
+func (f *scriptedFilter) Incoming(kind int, rssi float64) (float64, bool) {
+	i := f.n
+	f.n++
+	if f.drop[i] {
+		return rssi, true
+	}
+	return rssi + f.rssiAdd, false
+}
+
+func TestFaultFilterInterceptsDelivery(t *testing.T) {
+	b := newBed(t, 10)
+	a := b.nic(0, geom.Vec2{})
+	c := b.nic(1, geom.Vec2{X: 15})
+	c.SetFaultFilter(&scriptedFilter{drop: map[int]bool{0: true}, rssiAdd: 7})
+
+	var rssis []float64
+	c.Handle(KindBeacon, func(_ mac.Frame, rssi float64) { rssis = append(rssis, rssi) })
+
+	// Two sends, spaced so they do not collide; the filter eats the first.
+	if err := a.Send(KindBeacon, BeaconBytes, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.sim.Schedule(1, func() {
+		if err := a.Send(KindBeacon, BeaconBytes, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	b.sim.Run()
+
+	if len(rssis) != 1 {
+		t.Fatalf("delivered %d frames, want 1 (first dropped)", len(rssis))
+	}
+	if c.FaultDrops() != 1 {
+		t.Errorf("FaultDrops = %d, want 1", c.FaultDrops())
+	}
+	if c.Received() != 1 {
+		t.Errorf("Received = %d, want 1 (drops are not receptions)", c.Received())
+	}
+	if rssis[0] > -30+7 || rssis[0] < -98+7 {
+		t.Errorf("perturbed RSSI %v outside shifted plausible band", rssis[0])
+	}
+}
+
+func TestNilFaultFilterIsTransparent(t *testing.T) {
+	b := newBed(t, 11)
+	a := b.nic(0, geom.Vec2{})
+	c := b.nic(1, geom.Vec2{X: 15})
+	c.SetFaultFilter(nil)
+	got := 0
+	c.Handle(KindBeacon, func(mac.Frame, float64) { got++ })
+	if err := a.Send(KindBeacon, BeaconBytes, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.sim.Run()
+	if got != 1 || c.FaultDrops() != 0 {
+		t.Errorf("nil filter: delivered=%d drops=%d", got, c.FaultDrops())
+	}
+}
+
 func TestModeTransitionsIdempotent(t *testing.T) {
 	b := newBed(t, 9)
 	a := b.nic(0, geom.Vec2{})

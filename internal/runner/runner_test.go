@@ -3,10 +3,15 @@ package runner
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cocoa/internal/cocoa"
+	"cocoa/internal/faults"
 )
 
 func TestMapOrdersResultsByIndex(t *testing.T) {
@@ -122,6 +127,135 @@ func TestMapProgressSerializedAndComplete(t *testing.T) {
 				t.Fatalf("parallelism %d: progress not monotone: %v", par, dones)
 			}
 		}
+	}
+}
+
+// faultHeavyConfig is a small but hostile workload: bursty loss, crashed
+// robots, and RSSI outliers all active, so cancellation interrupts the
+// engine while the fault machinery is mid-flight.
+func faultHeavyConfig(seed int64) cocoa.Config {
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = 8
+	cfg.NumEquipped = 4
+	cfg.DurationS = 60
+	cfg.BeaconPeriodS = 20
+	cfg.GridCellM = 8
+	cfg.Calibration.Samples = 20000
+	cfg.Seed = seed
+	cfg.Faults.GE = faults.Bursty(0.5, faults.DefaultBurstFrames)
+	cfg.Faults.CrashFraction = 0.25
+	cfg.Faults.CrashMeanDownS = 30
+	cfg.Faults.OutlierProb = 0.05
+	return cfg
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// bound or the deadline passes, returning the last observed count.
+func waitForGoroutines(bound int, deadline time.Duration) int {
+	start := time.Now()
+	for {
+		n := runtime.NumGoroutine()
+		if n <= bound || time.Since(start) > deadline {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancellationMidSweepUnderFaultLoad cancels a parallel fault-heavy
+// sweep partway through and checks the three things a caller relies on:
+// the engine reports context.Canceled, every worker goroutine exits, and
+// whatever jobs DID complete computed the result for their own index —
+// cancellation must not scramble the index->config mapping.
+func TestCancellationMidSweepUnderFaultLoad(t *testing.T) {
+	const n = 24
+	cfgs := make([]cocoa.Config, n)
+	for i := range cfgs {
+		cfgs[i] = faultHeavyConfig(int64(i + 1))
+	}
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		partial   = make(map[int]*cocoa.Result)
+		completed atomic.Int64
+	)
+	_, err := Map(ctx, Options{Parallelism: 4}, n,
+		func(ctx context.Context, i int) (*cocoa.Result, error) {
+			res, rerr := cocoa.Run(cfgs[i])
+			if rerr != nil {
+				return nil, rerr
+			}
+			mu.Lock()
+			partial[i] = res
+			mu.Unlock()
+			if completed.Add(1) == 3 {
+				cancel() // mid-sweep: several jobs done, many outstanding
+			}
+			return res, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	mu.Lock()
+	got := len(partial)
+	mu.Unlock()
+	if got < 3 {
+		t.Fatalf("only %d jobs completed before cancel; gate never fired", got)
+	}
+	if got == n {
+		t.Fatalf("all %d jobs completed; cancellation did not interrupt the sweep", n)
+	}
+
+	// No goroutine leaks: the pool must wind down to the pre-sweep count
+	// (plus slack for runtime background goroutines).
+	if leaked := waitForGoroutines(baseline+2, 2*time.Second); leaked > baseline+2 {
+		t.Errorf("goroutines = %d after cancelled sweep, baseline %d", leaked, baseline)
+	}
+
+	// Index consistency: each surviving partial result must be byte-for-byte
+	// what a fresh serial run of that index's config produces.
+	checked := 0
+	for i, res := range partial {
+		if checked == 3 {
+			break
+		}
+		checked++
+		want, rerr := cocoa.Run(cfgs[i])
+		if rerr != nil {
+			t.Fatalf("re-run of cfg %d: %v", i, rerr)
+		}
+		if res.MeanError() != want.MeanError() || res.Fixes != want.Fixes ||
+			res.Crashes != want.Crashes || res.FaultDrops != want.FaultDrops {
+			t.Errorf("partial result %d inconsistent with its config: got (err=%v fixes=%d crashes=%d drops=%d), want (err=%v fixes=%d crashes=%d drops=%d)",
+				i, res.MeanError(), res.Fixes, res.Crashes, res.FaultDrops,
+				want.MeanError(), want.Fixes, want.Crashes, want.FaultDrops)
+		}
+	}
+}
+
+// TestMapNoGoroutineLeakAfterError is the error-path twin: a failing job
+// cancels the sweep, and the pool must still wind down completely.
+func TestMapNoGoroutineLeakAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	baseline := runtime.NumGoroutine()
+	_, err := Map(context.Background(), Options{Parallelism: 8}, 64,
+		func(_ context.Context, i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if leaked := waitForGoroutines(baseline+2, 2*time.Second); leaked > baseline+2 {
+		t.Errorf("goroutines = %d after failed sweep, baseline %d", leaked, baseline)
 	}
 }
 

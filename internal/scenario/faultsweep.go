@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"cocoa/internal/cocoa"
+	"cocoa/internal/faults"
+)
+
+// The robustness sweep stresses CoCoA with the unreliable regimes the
+// paper's evaluation leaves out: bursty link loss (Gilbert–Elliott) and
+// robot crash/recovery outages, crossed into a grid. The expected shape is
+// graceful degradation — mean error and the uncovered-robot fraction rise
+// with fault intensity, but every run completes and no metric collapses.
+
+// FaultLossRates is the sweep's Gilbert–Elliott steady-state loss axis.
+var FaultLossRates = []float64{0, 0.25, 0.5}
+
+// FaultCrashFractions is the sweep's crashed-team-fraction axis.
+var FaultCrashFractions = []float64{0, 0.2}
+
+// FaultRow is one (loss rate, crash fraction) cell of the sweep.
+type FaultRow struct {
+	LossRate      float64
+	CrashFraction float64
+	MeanErrorM    float64
+	MaxAvgErrorM  float64
+	Uncovered     float64 // fraction of (robot, window) opportunities without a fix
+	FixRate       float64
+	FaultDrops    int
+	Crashes       int
+	NeverFixed    int
+}
+
+// RunFaultSweep crosses burst-loss rates with crash fractions on the
+// default CoCoA deployment. Crashed robots stay down for about two beacon
+// periods (exponentially distributed), so they miss windows and rejoin —
+// the recovery path is exercised, not just the outage.
+func RunFaultSweep(opts Options) ([]FaultRow, error) {
+	type cell struct{ loss, crash float64 }
+	var cells []cell
+	for _, crash := range FaultCrashFractions {
+		for _, loss := range FaultLossRates {
+			cells = append(cells, cell{loss, crash})
+		}
+	}
+	cfgs := make([]cocoa.Config, len(cells))
+	for i, c := range cells {
+		cfg := cocoa.DefaultConfig()
+		opts.apply(&cfg)
+		cfg.Faults.GE = faults.Bursty(c.loss, faults.DefaultBurstFrames)
+		cfg.Faults.CrashFraction = c.crash
+		cfg.Faults.CrashMeanDownS = 2 * float64(cfg.BeaconPeriodS)
+		cfgs[i] = cfg
+	}
+	results, err := opts.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FaultRow, len(results))
+	for i, res := range results {
+		out[i] = FaultRow{
+			LossRate:      cells[i].loss,
+			CrashFraction: cells[i].crash,
+			MeanErrorM:    res.MeanError(),
+			MaxAvgErrorM:  res.MaxAvgError(),
+			Uncovered:     res.UncoveredFraction(),
+			FixRate:       res.FixRate(),
+			FaultDrops:    res.FaultDrops,
+			Crashes:       res.Crashes,
+			NeverFixed:    res.NeverFixed,
+		}
+	}
+	return out, nil
+}

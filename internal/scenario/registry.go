@@ -110,6 +110,11 @@ var registry = []Descriptor{
 		Run:   func(o Options) (any, error) { return RunReplication(o, replicationSeeds) },
 	},
 	{
+		Name: "rob-faults", Flag: "faults",
+		Title: "Robustness — graceful degradation under injected faults (loss x crashes)",
+		Run:   func(o Options) (any, error) { return RunFaultSweep(o) },
+	},
+	{
 		Name: "baseline", Flag: "baseline",
 		Title: "Baseline — CoCoA vs Cooperative Positioning (Kurazume et al.)",
 		Run:   func(o Options) (any, error) { return RunBaselineCoopPos(o) },
