@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz check bench clean
+.PHONY: all build test vet race fuzz check bench bench-smoke bench-json clean
 
 all: build
 
@@ -24,17 +24,31 @@ FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGilbertElliott -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzEventlogRoundTrip -fuzztime=$(FUZZTIME) ./internal/eventlog
+	$(GO) test -run='^$$' -fuzz=FuzzTabulateAgreement -fuzztime=$(FUZZTIME) ./internal/caltable
 
 # check is the gate a change must pass before it lands: static analysis,
 # the full suite under the race detector (the experiment engine fans runs
-# out across goroutines, so -race is not optional here), and a short fuzz
-# pass over the serialization and loss-channel targets.
-check: vet race fuzz
+# out across goroutines, so -race is not optional here), a short fuzz pass
+# over the serialization/loss-channel/LUT targets, and a one-iteration
+# benchmark smoke so bench-only code paths cannot rot between bench runs.
+check: vet race fuzz bench-smoke
 
 # bench regenerates every paper figure at reduced scale, including the
 # serial-vs-parallel engine pair (BenchmarkReplication*).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark for exactly one iteration —
+# a correctness gate, not a measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench-json refreshes the checked-in benchmark trajectory (BENCH_PR3.json)
+# from a full -benchmem run; see README "Benchmark tracking" for the format.
+BENCHJSON_OUT ?= BENCH_PR3.json
+
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,187 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark trajectories can be checked in and diffed
+// across PRs (see BENCH_PR3.json and the README's "Benchmark tracking"
+// section).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_PR3.json
+//	benchjson bench.txt            # read a saved log instead of stdin
+//
+// The parser understands the standard testing package line format,
+// including -benchmem columns and custom ReportMetric units:
+//
+//	BenchmarkApplyBeacon-4   13810   86637 ns/op   0 B/op   0 allocs/op
+//
+// Names are keyed as "<package>.<benchmark>" (the -<GOMAXPROCS> suffix is
+// stripped) and emitted in sorted order, so regenerating the file on the
+// same machine yields a minimal diff.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry records one benchmark's measurements.
+type Entry struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any additional unit columns (custom b.ReportMetric
+	// units, MB/s, ...), keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the checked-in document shape.
+type Report struct {
+	// Context echoes the goos/goarch/cpu header lines of the log, which
+	// anchor what hardware the numbers mean anything on.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks map[string]Entry  `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, buf, 0o644)
+	}
+	_, err = stdout.Write(buf)
+	return err
+}
+
+// Parse consumes a `go test -bench` log and extracts every benchmark line.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{
+		Context:    map[string]string{},
+		Benchmarks: map[string]Entry{},
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "),
+			strings.HasPrefix(line, "goarch: "),
+			strings.HasPrefix(line, "cpu: "):
+			k, v, _ := strings.Cut(line, ": ")
+			rep.Context[k] = strings.TrimSpace(v)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		name, e, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		rep.Benchmarks[key] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	Benchmark<Name>[-P]  <iters>  <value> <unit>  [<value> <unit>]...
+func parseBenchLine(line string) (string, Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Entry{}, false
+	}
+	name := trimProcSuffix(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e := Entry{Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			e.BytesPerOp = &v
+		case "allocs/op":
+			e.AllocsPerOp = &v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+	}
+	if !seenNs {
+		return "", Entry{}, false
+	}
+	return name, e, true
+}
+
+// trimProcSuffix drops the trailing -<GOMAXPROCS> the testing package
+// appends, so keys stay stable across machines with different core counts.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: cocoa/internal/bayes
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkApplyBeacon-4           	   13810	     86637 ns/op	       0 B/op	       0 allocs/op
+BenchmarkApplyBeaconTabulated-4  	   58126	     20521 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	cocoa/internal/bayes	3.337s
+pkg: cocoa/internal/sim
+BenchmarkEventLoop-4             	 1000000	      1056 ns/op	  12.50 events/op	       0 B/op	       0 allocs/op
+--- BENCH: some stray line
+BenchmarkBroken no fields
+ok  	cocoa/internal/sim	1.2s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Benchmarks); got != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", got, rep.Benchmarks)
+	}
+	e, ok := rep.Benchmarks["cocoa/internal/bayes.BenchmarkApplyBeacon"]
+	if !ok {
+		t.Fatalf("missing pkg-qualified, suffix-stripped key; have %+v", rep.Benchmarks)
+	}
+	if e.NsPerOp != 86637 || e.Iterations != 13810 {
+		t.Errorf("ApplyBeacon entry = %+v", e)
+	}
+	if e.BytesPerOp == nil || *e.BytesPerOp != 0 || e.AllocsPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Errorf("benchmem columns not parsed: %+v", e)
+	}
+	ev, ok := rep.Benchmarks["cocoa/internal/sim.BenchmarkEventLoop"]
+	if !ok {
+		t.Fatal("missing sim benchmark (pkg switch not tracked)")
+	}
+	if ev.Metrics["events/op"] != 12.5 {
+		t.Errorf("custom metric = %+v", ev.Metrics)
+	}
+	if rep.Context["cpu"] == "" || rep.Context["goos"] != "linux" {
+		t.Errorf("context not captured: %+v", rep.Context)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-4":        "BenchmarkX",
+		"BenchmarkX-128":      "BenchmarkX",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkFig4-Odo-8": "BenchmarkFig4-Odo",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader(sampleLog), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Errorf("round-trip lost benchmarks: %d", len(rep.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &buf); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -16,6 +16,12 @@
 //	cocoaexp -quick       # scaled-down smoke suite (seconds)
 //	cocoaexp -fig 9       # one figure only
 //	cocoaexp -parallel 1  # serial runs (default: all CPUs)
+//
+// Profiling: -cpuprofile, -memprofile and -trace write pprof/trace files
+// covering the whole suite, e.g.
+//
+//	cocoaexp -quick -fig 4 -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"cocoa"
+	"cocoa/internal/runner"
 )
 
 func main() {
@@ -44,9 +51,25 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 1, "experiment seed")
 		parallel = fs.Int("parallel", 0, "concurrent simulation runs per experiment (0 = all CPUs, 1 = serial)")
 		progress = fs.Bool("progress", false, "print per-run progress while an experiment executes")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile (captured at exit) to this file")
+		traceOut = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	prof := runner.ProfileConfig{CPUPath: *cpuProf, MemPath: *memProf, TracePath: *traceOut}
+	if prof.Enabled() {
+		stop, err := runner.StartProfiles(prof)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "cocoaexp:", err)
+			}
+		}()
 	}
 
 	opts := cocoa.ExperimentOptions{Seed: *seed}

@@ -14,6 +14,27 @@
 //
 // After at least MinBeacons beacons, the position estimate is the
 // expectation of Equation (3).
+//
+// # Performance model
+//
+// ApplyBeacon is the simulation's hot path (10,000 cells per beacon at the
+// paper's resolution), and the implementation exploits three observations:
+//
+//  1. Normalization is a global scale, so it can be lazy: the grid stores
+//     an unnormalized belief plus its tracked mass, and readouts divide on
+//     demand instead of every beacon paying a second full-grid pass.
+//  2. Because the posterior only depends on constraint *ratios*, cells
+//     whose constraint equals the floor can simply keep their value: the
+//     update multiplies in-support cells by density/floor and touches
+//     nothing else. Per-beacon work is proportional to the constraint's
+//     support annulus, not the grid.
+//  3. Calibrated PDFs carry a radial lookup table with explicit support
+//     bounds (caltable.TabulatedPDF); the per-cell density is then a table
+//     index instead of an Exp, and the annulus fast path — classically
+//     Gaussian-only via the moments — applies to empirical histograms too.
+//
+// The pre-overhaul eager implementation is retained as applyBeaconEager;
+// equivalence tests pin the fast path to it cell-for-cell at 1e-9.
 package bayes
 
 import (
@@ -39,14 +60,33 @@ const MinBeacons = 3
 // beacon from a nearby robot).
 const constraintFloor = 1e-6
 
+// invConstraintFloor converts a floored constraint into the ≥1 ratio the
+// lazy update multiplies by.
+const invConstraintFloor = 1 / constraintFloor
+
+// Belief mass bounds that trigger an eager renormalization. Ratios are ≥1,
+// so mass only grows between renormalizations — by at most the peak
+// density over the floor (~4e5 for the sharpest calibrated bins) per
+// beacon — and the high bound leaves >150 orders of magnitude of float64
+// headroom above the largest single-beacon growth.
+const (
+	massRenormHigh = 1e120
+	massRenormLow  = 1e-120
+)
+
 // Grid is a discretized position belief over a rectangular area. Cells are
-// square with side CellSize; probabilities sum to one.
+// square with side CellSize. Internally the belief is unnormalized: p sums
+// to mass, not 1, and readouts normalize on demand.
 type Grid struct {
 	area     geom.Rect
 	cellSize float64
 	nx, ny   int
 	p        []float64
-	beacons  int
+	// cx, cy are the precomputed cell-center coordinates, shared by
+	// ApplyBeacon, Estimate, and MAP.
+	cx, cy  []float64
+	mass    float64
+	beacons int
 }
 
 // NewGrid builds a uniform belief over the area with the given cell size
@@ -64,6 +104,14 @@ func NewGrid(area geom.Rect, cellSize float64) (*Grid, error) {
 		return nil, fmt.Errorf("bayes: grid %dx%d too large", nx, ny)
 	}
 	g := &Grid{area: area, cellSize: cellSize, nx: nx, ny: ny, p: make([]float64, nx*ny)}
+	g.cx = make([]float64, nx)
+	for ix := range g.cx {
+		g.cx[ix] = area.Min.X + (float64(ix)+0.5)*cellSize
+	}
+	g.cy = make([]float64, ny)
+	for iy := range g.cy {
+		g.cy[iy] = area.Min.Y + (float64(iy)+0.5)*cellSize
+	}
 	g.Reset()
 	return g, nil
 }
@@ -76,6 +124,7 @@ func (g *Grid) Reset() {
 	for i := range g.p {
 		g.p[i] = u
 	}
+	g.mass = 1
 	g.beacons = 0
 }
 
@@ -97,32 +146,51 @@ func (g *Grid) Ready() bool { return g.beacons >= MinBeacons }
 
 // cellCenter returns the center coordinates of cell (ix, iy).
 func (g *Grid) cellCenter(ix, iy int) geom.Vec2 {
-	return geom.Vec2{
-		X: g.area.Min.X + (float64(ix)+0.5)*g.cellSize,
-		Y: g.area.Min.Y + (float64(iy)+0.5)*g.cellSize,
-	}
+	return geom.Vec2{X: g.cx[ix], Y: g.cy[iy]}
 }
 
 // gaussianMoments is the optional parametric view of a distance PDF that
-// unlocks the fast annulus update path.
+// unlocks the fast annulus update path for analytic Gaussians.
 type gaussianMoments interface {
 	Mean() float64
 	Std() float64
 	IsGaussian() bool
 }
 
-// ApplyBeacon imposes one beacon's constraint (Equation 1) and renormalizes
-// (Equation 2). beaconPos is the sender's advertised position; pdf is the
-// calibrated distance PDF for the observed RSSI.
-//
-// This is the simulation's hot path (10,000 cells per beacon at the
-// paper's resolution). For Gaussian PDFs the density is evaluated only
-// inside the mu +/- 6 sigma annulus around the beacon; outside it the
-// density is below the constraint floor, so cells take the floor without
-// touching exp or sqrt.
+// radialTable is the optional tabulated view of a distance PDF (satisfied
+// by caltable.TabulatedPDF): raw radial density samples plus explicit
+// support bounds. The support is only trusted when the table was built
+// against a floor at most as large as ours; otherwise densities above our
+// floor could hide outside the declared support.
+type radialTable interface {
+	RadialTable() (dens []float64, r0, step float64, nearest bool)
+	Support() (rInner, rOuter float64)
+	TableFloor() float64
+}
+
+// ApplyBeacon imposes one beacon's constraint (Equation 1) and folds in the
+// Bayesian update of Equation (2) lazily: cells in the constraint's support
+// are scaled by density/floor, everything else is untouched, and the belief
+// mass is updated incrementally. Renormalization happens on readout, or
+// eagerly when the mass approaches the float64 range limits.
 func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
+	var (
+		dens    []float64
+		r0, r1  float64
+		invStep float64
+		nearest bool
+		haveLUT bool
+	)
 	rInner, rOuter := math.Inf(-1), math.Inf(1)
-	if m, ok := pdf.(gaussianMoments); ok && m.IsGaussian() {
+	if lt, ok := pdf.(radialTable); ok && lt.TableFloor() <= constraintFloor {
+		var step float64
+		dens, r0, step, nearest = lt.RadialTable()
+		rInner, rOuter = lt.Support()
+		r1 = rOuter
+		invStep = 1 / step
+		haveLUT = true
+	} else if m, ok := pdf.(gaussianMoments); ok && m.IsGaussian() {
+		// Beyond mu +/- 6 sigma a Gaussian density is below the floor.
 		rInner = m.Mean() - 6*m.Std()
 		rOuter = m.Mean() + 6*m.Std()
 	}
@@ -132,15 +200,178 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 	}
 	rOuter2 := rOuter * rOuter
 
+	bx, by := beaconPos.X, beaconPos.Y
+	minX := g.area.Min.X
+	bounded := !math.IsInf(rOuter, 1)
+	var removed, added float64
+	for iy := 0; iy < g.ny; iy++ {
+		dy := g.cy[iy] - by
+		dy2 := dy * dy
+		if dy2 > rOuter2 {
+			continue // the whole row is outside the annulus
+		}
+		lo, hi := 0, g.nx
+		if bounded {
+			// Conservative (+/- one cell) column interval where the row
+			// can intersect the outer disk; the per-cell d² check below
+			// stays authoritative.
+			halfW := math.Sqrt(rOuter2 - dy2)
+			lo = int((bx-halfW-minX)/g.cellSize) - 1
+			hi = int((bx+halfW-minX)/g.cellSize) + 2
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > g.nx {
+				hi = g.nx
+			}
+		}
+		// Inner-hole skip: where the row crosses the inner disk, the middle
+		// columns satisfy |dx| < sqrt(rInner²-dy²) and would fail the d²
+		// check below cell by cell. Conservative (±1 cell) integer bounds
+		// excise that run; the per-cell check stays authoritative, so the
+		// iteration set shrinks but the touched cells are identical.
+		s1, s2 := hi, hi
+		if rInner2 > 0 && dy2 < rInner2 {
+			halfH := math.Sqrt(rInner2 - dy2)
+			hLo := int((bx-halfH-minX)/g.cellSize-0.5) + 2
+			hHi := int((bx+halfH-minX)/g.cellSize-0.5) - 1
+			if hLo < lo {
+				hLo = lo
+			}
+			if hHi > hi {
+				hHi = hi
+			}
+			if hHi > hLo {
+				s1, s2 = hLo, hHi
+			}
+		}
+		row := g.p[iy*g.nx : (iy+1)*g.nx : (iy+1)*g.nx]
+		for seg := 0; seg < 2; seg++ {
+			start, end := lo, s1
+			if seg == 1 {
+				start, end = s2, hi
+			}
+			// The cell loop is specialized per density mode: the mode is
+			// fixed for the whole call, and hoisting the dispatch out of
+			// the innermost loop is worth a few percent of the whole
+			// simulation. Each body inlines TabulatedPDF.Density
+			// expression-for-expression (a density > floor multiplies the
+			// cell, anything else leaves it untouched), so the three
+			// variants and the Density-calling reference agree bitwise.
+			switch {
+			case haveLUT && nearest:
+				for ix := start; ix < end; ix++ {
+					dx := g.cx[ix] - bx
+					d2 := dx*dx + dy2
+					if d2 > rOuter2 || d2 < rInner2 {
+						continue
+					}
+					d := math.Sqrt(d2)
+					if d < r0 || d >= r1 {
+						continue
+					}
+					j := int((d - r0) * invStep)
+					if j >= len(dens) {
+						j = len(dens) - 1
+					}
+					dv := dens[j]
+					if !(dv > constraintFloor) { // negated so NaN densities also skip
+						continue // ratio 1: multiplying would be a bitwise no-op
+					}
+					old := row[ix]
+					nv := old * (dv * invConstraintFloor)
+					row[ix] = nv
+					removed += old
+					added += nv
+				}
+			case haveLUT:
+				for ix := start; ix < end; ix++ {
+					dx := g.cx[ix] - bx
+					d2 := dx*dx + dy2
+					if d2 > rOuter2 || d2 < rInner2 {
+						continue
+					}
+					d := math.Sqrt(d2)
+					if d < r0 || d >= r1 {
+						continue
+					}
+					u := (d - r0) * invStep
+					j := int(u)
+					var dv float64
+					if j >= len(dens)-1 {
+						dv = dens[len(dens)-1]
+					} else {
+						dv = dens[j] + (u-float64(j))*(dens[j+1]-dens[j])
+					}
+					if !(dv > constraintFloor) {
+						continue
+					}
+					old := row[ix]
+					nv := old * (dv * invConstraintFloor)
+					row[ix] = nv
+					removed += old
+					added += nv
+				}
+			default:
+				for ix := start; ix < end; ix++ {
+					dx := g.cx[ix] - bx
+					d2 := dx*dx + dy2
+					if d2 > rOuter2 || d2 < rInner2 {
+						continue
+					}
+					dv := pdf.Density(math.Sqrt(d2))
+					if !(dv > constraintFloor) {
+						continue
+					}
+					old := row[ix]
+					nv := old * (dv * invConstraintFloor)
+					row[ix] = nv
+					removed += old
+					added += nv
+				}
+			}
+		}
+	}
+
+	mass := g.mass - removed + added
+	if mass <= 0 || math.IsNaN(mass) || math.IsInf(mass, 0) {
+		// Numerical collapse: fall back to uniform rather than emit NaNs.
+		g.Reset()
+		g.beacons = 1
+		return
+	}
+	g.mass = mass
+	g.beacons++
+	if mass > massRenormHigh || mass < massRenormLow {
+		g.Renormalize()
+	}
+}
+
+// applyBeaconEager is the retained pre-overhaul reference implementation:
+// per-cell density evaluation (Gaussian-moments annulus only) followed by
+// an eager full-grid renormalization. It exists so every change to the
+// fast path can be pinned to the original semantics — the equivalence
+// tests require ApplyBeacon to match it cell-for-cell within 1e-9
+// relative tolerance for every PDF shape.
+func (g *Grid) applyBeaconEager(beaconPos geom.Vec2, pdf DistanceDensity) {
+	rInner, rOuter := math.Inf(-1), math.Inf(1)
+	if m, ok := pdf.(gaussianMoments); ok && m.IsGaussian() {
+		rInner = m.Mean() - 6*m.Std()
+		rOuter = m.Mean() + 6*m.Std()
+	}
+	rInner2 := rInner * rInner
+	if rInner < 0 {
+		rInner2 = -1
+	}
+	rOuter2 := rOuter * rOuter
+
 	var sum float64
 	i := 0
 	for iy := 0; iy < g.ny; iy++ {
-		cy := g.area.Min.Y + (float64(iy)+0.5)*g.cellSize
-		dy := cy - beaconPos.Y
+		dy := g.cy[iy] - beaconPos.Y
 		dy2 := dy * dy
 		for ix := 0; ix < g.nx; ix++ {
-			cx := g.area.Min.X + (float64(ix)+0.5)*g.cellSize
-			dx := cx - beaconPos.X
+			dx := g.cx[ix] - beaconPos.X
 			d2 := dx*dx + dy2
 			c := constraintFloor
 			if d2 <= rOuter2 && d2 >= rInner2 {
@@ -154,7 +385,6 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 		}
 	}
 	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
-		// Numerical collapse: fall back to uniform rather than emit NaNs.
 		g.Reset()
 		g.beacons = 1
 		return
@@ -163,29 +393,57 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 	for j := range g.p {
 		g.p[j] *= inv
 	}
+	g.mass = 1
 	g.beacons++
 }
 
-// Estimate returns the posterior-mean position (Equation 3).
+// Renormalize rescales the belief so the cells sum to one and the tracked
+// mass is exact again. Readouts do not require it — they normalize on the
+// fly — but tests and serialization use it to obtain canonical cell
+// values, and ApplyBeacon invokes it when the mass nears the float64
+// range limits.
+func (g *Grid) Renormalize() {
+	var s float64
+	for _, pi := range g.p {
+		s += pi
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		g.Reset()
+		return
+	}
+	inv := 1 / s
+	for i := range g.p {
+		g.p[i] *= inv
+	}
+	g.mass = 1
+}
+
+// Estimate returns the posterior-mean position (Equation 3), normalizing
+// on the fly from the freshly accumulated mass.
 func (g *Grid) Estimate() geom.Vec2 {
-	var ex, ey float64
+	var ex, ey, tot float64
 	i := 0
 	for iy := 0; iy < g.ny; iy++ {
-		cy := g.area.Min.Y + (float64(iy)+0.5)*g.cellSize
+		cyw := g.cy[iy]
 		var rowSum float64
 		for ix := 0; ix < g.nx; ix++ {
 			pi := g.p[i]
-			ex += pi * (g.area.Min.X + (float64(ix)+0.5)*g.cellSize)
+			ex += pi * g.cx[ix]
 			rowSum += pi
 			i++
 		}
-		ey += rowSum * cy
+		ey += rowSum * cyw
+		tot += rowSum
 	}
-	return geom.Vec2{X: ex, Y: ey}
+	if tot <= 0 || math.IsNaN(tot) || math.IsInf(tot, 0) {
+		return g.area.Center()
+	}
+	return geom.Vec2{X: ex / tot, Y: ey / tot}
 }
 
 // MAP returns the highest-probability cell center, an alternative point
-// estimate exposed for diagnostics and the examples.
+// estimate exposed for diagnostics and the examples. It is scale-free, so
+// lazy normalization needs no extra work here.
 func (g *Grid) MAP() geom.Vec2 {
 	best, bi := -1.0, 0
 	for i, pi := range g.p {
@@ -196,8 +454,8 @@ func (g *Grid) MAP() geom.Vec2 {
 	return g.cellCenter(bi%g.nx, bi/g.nx)
 }
 
-// ProbabilityAt returns the cell probability covering point pt, for tests
-// and visualization. Points outside the area return 0.
+// ProbabilityAt returns the normalized cell probability covering point pt,
+// for tests and visualization. Points outside the area return 0.
 func (g *Grid) ProbabilityAt(pt geom.Vec2) float64 {
 	if !g.area.Contains(pt) {
 		return 0
@@ -210,27 +468,29 @@ func (g *Grid) ProbabilityAt(pt geom.Vec2) float64 {
 	if iy >= g.ny {
 		iy = g.ny - 1
 	}
-	return g.p[iy*g.nx+ix]
+	return g.p[iy*g.nx+ix] / g.mass
 }
 
-// Entropy returns the Shannon entropy of the belief in nats — a measure of
-// how concentrated the estimate is; uniform beliefs maximize it.
+// Entropy returns the Shannon entropy of the normalized belief in nats — a
+// measure of how concentrated the estimate is; uniform beliefs maximize it.
 func (g *Grid) Entropy() float64 {
+	inv := 1 / g.mass
 	var h float64
 	for _, pi := range g.p {
-		if pi > 0 {
-			h -= pi * math.Log(pi)
+		if q := pi * inv; q > 0 {
+			h -= q * math.Log(q)
 		}
 	}
 	return h
 }
 
-// TotalProbability returns the belief mass (should always be ~1); exposed
-// for invariant tests.
+// TotalProbability returns the normalized belief mass: the fresh cell sum
+// over the tracked mass. It is ~1 up to the accumulation drift of the lazy
+// updates; exposed for invariant tests.
 func (g *Grid) TotalProbability() float64 {
 	var s float64
 	for _, pi := range g.p {
 		s += pi
 	}
-	return s
+	return s / g.mass
 }

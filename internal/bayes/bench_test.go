@@ -14,8 +14,60 @@ func BenchmarkApplyBeacon(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pdf := caltable.GaussianPDF{Mu: 40, Sigma: 5}
+	// Box the value PDF once: callers hold DistPDF interfaces, so the
+	// conversion is not part of ApplyBeacon's steady-state cost.
+	var pdf DistanceDensity = caltable.GaussianPDF{Mu: 40, Sigma: 5}
 	pos := geom.Vec2{X: 70, Y: 120}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ApplyBeacon(pos, pdf)
+		if i%16 == 15 {
+			g.Reset()
+		}
+	}
+}
+
+// BenchmarkApplyBeaconTabulated is the production configuration: the same
+// Gaussian, but routed through the radial lookup table as calibrated
+// tables hand it out.
+func BenchmarkApplyBeaconTabulated(b *testing.B) {
+	g, err := NewGrid(geom.Square(200), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pdf, err := caltable.Tabulate(caltable.GaussianPDF{Mu: 40, Sigma: 5}, constraintFloor, 0.0625, 220)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := geom.Vec2{X: 70, Y: 120}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ApplyBeacon(pos, pdf)
+		if i%16 == 15 {
+			g.Reset()
+		}
+	}
+}
+
+// BenchmarkApplyBeaconEmpirical exercises the far-regime histogram path,
+// which before the LUT had no annulus bound and scanned the whole grid.
+func BenchmarkApplyBeaconEmpirical(b *testing.B) {
+	g, err := NewGrid(geom.Square(200), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bins := make([]float64, 111)
+	for i := 25; i < 60; i++ {
+		bins[i] = 0.012
+	}
+	pdf, err := caltable.Tabulate(&caltable.EmpiricalPDF{BinWidth: 2, Bins: bins}, constraintFloor, 0.0625, 220)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pos := geom.Vec2{X: 70, Y: 120}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.ApplyBeacon(pos, pdf)

@@ -104,6 +104,15 @@ type Options struct {
 	// MinBinSamples is the minimum soundings an RSSI bin needs before a
 	// PDF is stored for it.
 	MinBinSamples int
+	// LUTStepM is the radial resolution, in meters, at which Gaussian PDFs
+	// are tabulated for the grid filter's fast path (histograms tabulate
+	// exactly at their own bin width). Zero disables tabulation and Lookup
+	// returns the analytic PDFs.
+	LUTStepM float64
+	// LUTFloor is the constraint floor the tables' support bounds are
+	// computed against; it must not exceed the consumer's clamp (the grid
+	// filter checks this before trusting the bounds).
+	LUTFloor float64
 }
 
 // DefaultOptions returns calibration options matched to the paper's setup.
@@ -114,6 +123,8 @@ func DefaultOptions() Options {
 		HistBinM:       2,
 		GaussianLimitM: 40,
 		MinBinSamples:  50,
+		LUTStepM:       0.0625,
+		LUTFloor:       1e-6,
 	}
 }
 
@@ -130,6 +141,10 @@ func (o Options) Validate() error {
 		return fmt.Errorf("caltable: GaussianLimitM must be positive")
 	case o.MinBinSamples <= 0:
 		return fmt.Errorf("caltable: MinBinSamples must be positive")
+	case o.LUTStepM < 0:
+		return fmt.Errorf("caltable: LUTStepM must be non-negative")
+	case o.LUTStepM > 0 && o.LUTFloor <= 0:
+		return fmt.Errorf("caltable: LUTFloor must be positive when tabulation is on")
 	}
 	return nil
 }
@@ -209,11 +224,20 @@ func Calibrate(m radio.Model, opts Options, rng *sim.RNG) (*Table, error) {
 		}
 		mean, std := meanStd(ds)
 		nominal := m.DistanceForRSSI(float64(minRSSI + bin))
+		var pdf DistPDF
 		if nominal <= opts.GaussianLimitM && std > 0 {
-			t.pdfs[bin] = GaussianPDF{Mu: mean, Sigma: std}
-			continue
+			pdf = GaussianPDF{Mu: mean, Sigma: std}
+		} else {
+			pdf = histogram(ds, opts.HistBinM, opts.MaxDist, mean, std)
 		}
-		t.pdfs[bin] = histogram(ds, opts.HistBinM, opts.MaxDist, mean, std)
+		if opts.LUTStepM > 0 {
+			lut, err := Tabulate(pdf, opts.LUTFloor, opts.LUTStepM, opts.MaxDist)
+			if err != nil {
+				return nil, err
+			}
+			pdf = lut
+		}
+		t.pdfs[bin] = pdf
 	}
 	return t, nil
 }

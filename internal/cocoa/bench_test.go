@@ -1,0 +1,43 @@
+package cocoa
+
+import "testing"
+
+// benchConfig is a mid-size deployment: big enough that beacon application
+// dominates, small enough that one iteration stays in milliseconds.
+func benchConfig(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.NumRobots = 20
+	cfg.NumEquipped = 10
+	cfg.DurationS = 200
+	cfg.BeaconPeriodS = 50
+	cfg.GridCellM = 2
+	cfg.Calibration.Samples = 60000
+	cfg.UpdateWorkers = workers
+	return cfg
+}
+
+func benchRun(b *testing.B, cfg Config) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fixes == 0 {
+			b.Fatal("no fixes")
+		}
+	}
+}
+
+// BenchmarkTeamStepSerial pins the beacon worker pool to one goroutine —
+// the baseline the parallel variant is judged against.
+func BenchmarkTeamStepSerial(b *testing.B) {
+	benchRun(b, benchConfig(1))
+}
+
+// BenchmarkTeamStepParallel uses the default auto-sized pool (GOMAXPROCS
+// workers), exercising the fan-out path end to end.
+func BenchmarkTeamStepParallel(b *testing.B) {
+	benchRun(b, benchConfig(0))
+}

@@ -182,6 +182,13 @@ type Config struct {
 	// degrades SYNC dissemination to plain ODMRP) for the ablation.
 	MRMMPruning bool
 
+	// UpdateWorkers bounds the worker pool that fans per-robot grid
+	// updates within a single run. Per-robot localizer state is disjoint
+	// and each robot's queued beacons are applied in arrival order by one
+	// goroutine, so results are byte-identical at any worker count. 0 (the
+	// default) sizes the pool to GOMAXPROCS; 1 forces serial application.
+	UpdateWorkers int
+
 	// Faults injects unreliable-network conditions: bursty link loss,
 	// robot crash/recovery outages, RSSI outlier spikes, and per-robot
 	// clock skew. The zero value (the default) injects nothing and leaves
@@ -263,6 +270,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cocoa: negative TerrainAmplitude")
 	case c.TerrainAmplitude > 0 && c.TerrainCellM <= 0:
 		return fmt.Errorf("cocoa: TerrainCellM must be positive with terrain enabled")
+	case c.UpdateWorkers < 0:
+		return fmt.Errorf("cocoa: negative UpdateWorkers")
 	}
 	if err := c.Radio.Validate(); err != nil {
 		return err

@@ -94,8 +94,16 @@ type robot struct {
 	lastSyncPos geom.Vec2
 	haveSyncPos bool
 
-	// lastTruePos supports odometry stepping.
+	// lastTruePos supports odometry stepping; stepRobots refreshes it
+	// every sample tick, so within a tick it doubles as a cached
+	// truePos(now) for the metric sampler.
 	lastTruePos geom.Vec2
+
+	// pending queues beacon observations between flush points. Nothing
+	// reads loc between beacon deliveries (only endWindow and finish do,
+	// and both flush first), so applications can be deferred and fanned
+	// across robots without changing any observable state.
+	pending []pendingBeacon
 
 	// Diagnostics.
 	fixes          int
@@ -124,15 +132,26 @@ func (r *robot) currentEstimate(mode Mode, now sim.Time) geom.Vec2 {
 	}
 }
 
-// stepOdometry advances dead reckoning by one sample interval;
-// noiseScale carries the terrain roughness at the robot's position.
-func (r *robot) stepOdometry(now sim.Time, dt, noiseScale float64) {
-	cur := r.truePos(now)
+// stepOdometry advances dead reckoning by one sample interval; cur is the
+// robot's true position now (computed once by the caller) and noiseScale
+// carries the terrain roughness there.
+func (r *robot) stepOdometry(cur geom.Vec2, dt, noiseScale float64) {
 	r.reckoner.StepScaled(cur.Sub(r.lastTruePos), dt, noiseScale)
 	r.lastTruePos = cur
 }
 
-// onBeacon feeds a received beacon into the RF position estimator.
+// pendingBeacon is one queued beacon observation: the sender's advertised
+// position and the distance density already resolved from the calibration
+// table (the lookup happens at enqueue time, on the event loop, so worker
+// goroutines never touch the shared table).
+type pendingBeacon struct {
+	pos geom.Vec2
+	pdf bayes.DistanceDensity
+}
+
+// onBeacon queues a received beacon for the RF position estimator. The
+// expensive grid update runs later, at the next flush point, possibly on a
+// worker goroutine (Team.flushBeaconQueues).
 func (r *robot) onBeacon(f mac.Frame, rssiDBm float64, lookup func(float64) (bayes.DistanceDensity, bool)) {
 	b, ok := f.Payload.(BeaconPayload)
 	if !ok || r.loc == nil {
@@ -142,8 +161,19 @@ func (r *robot) onBeacon(f mac.Frame, rssiDBm float64, lookup func(float64) (bay
 	if !ok {
 		return
 	}
-	r.loc.ApplyBeacon(b.Pos, pdf)
+	r.pending = append(r.pending, pendingBeacon{pos: b.Pos, pdf: pdf})
 	r.beaconsApplied++
+}
+
+// applyPending folds the queued beacons into the localizer in arrival
+// (FIFO) order. Each robot's queue is applied by exactly one goroutine, so
+// the posterior a robot reaches is independent of the worker count.
+func (r *robot) applyPending() {
+	for i := range r.pending {
+		r.loc.ApplyBeacon(r.pending[i].pos, r.pending[i].pdf)
+		r.pending[i] = pendingBeacon{} // release the PDF reference
+	}
+	r.pending = r.pending[:0]
 }
 
 // finalizeWindow closes a transmit window: if the paper's >=3 beacon rule

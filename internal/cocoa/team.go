@@ -2,6 +2,9 @@ package cocoa
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cocoa/internal/bayes"
 	"cocoa/internal/caltable"
@@ -33,6 +36,11 @@ type Team struct {
 
 	observers []Observer
 	terrain   *terrain.Field
+
+	// updateWorkers is the resolved Config.UpdateWorkers (0 -> GOMAXPROCS):
+	// the pool bound for fanning per-robot beacon applications at flush
+	// points.
+	updateWorkers int
 
 	// Fault injection (Config.Faults). links holds the per-robot channel
 	// filters so finish can collect their counters; outages is the crash
@@ -68,6 +76,10 @@ func NewTeam(cfg Config) (*Team, error) {
 		med:      med,
 		rng:      root.Stream("team"),
 		clockRng: root.Stream("clock"),
+	}
+	t.updateWorkers = cfg.UpdateWorkers
+	if t.updateWorkers == 0 {
+		t.updateWorkers = runtime.GOMAXPROCS(0)
 	}
 
 	if cfg.TerrainAmplitude > 0 {
@@ -312,34 +324,38 @@ func (t *Team) trackedIDs() []int {
 	return ids
 }
 
-// stepRobots advances dead reckoning for every robot that uses it.
+// stepRobots advances dead reckoning for every robot that uses it. The
+// waypoint position is evaluated once per robot per tick; the cached
+// lastTruePos then serves the metric sampler in the same tick.
 func (t *Team) stepRobots(now sim.Time, dt float64) {
 	for _, r := range t.robots {
+		cur := r.truePos(now)
 		scale := 1.0
 		if t.terrain != nil {
-			p := r.truePos(now)
-			scale = t.terrain.RoughnessAt(p.X, p.Y)
+			scale = t.terrain.RoughnessAt(cur.X, cur.Y)
 		}
 		switch {
 		case t.cfg.Mode == ModeOdometryOnly:
-			r.stepOdometry(now, dt, scale)
+			r.stepOdometry(cur, dt, scale)
 		case t.cfg.Mode == ModeCombined && !r.equipped:
-			r.stepOdometry(now, dt, scale)
+			r.stepOdometry(cur, dt, scale)
 		default:
 			// RF-only robots do not dead-reckon; still advance the
 			// mobility process so positions stay current.
-			r.lastTruePos = r.truePos(now)
+			r.lastTruePos = cur
 		}
 	}
 }
 
-// sample records per-robot localization error at time now.
+// sample records per-robot localization error at time now. stepRobots just
+// refreshed every robot's lastTruePos for this tick, so the waypoint model
+// is not re-evaluated here.
 func (t *Team) sample(res *Result, now sim.Time) {
 	var sum float64
 	n := 0
 	for i, id := range res.TrackedIDs {
 		r := t.robots[id]
-		err := r.currentEstimate(t.cfg.Mode, now).Dist(r.truePos(now))
+		err := r.currentEstimate(t.cfg.Mode, now).Dist(r.lastTruePos)
 		res.PerRobot[i] = append(res.PerRobot[i], err)
 		sum += err
 		n++
@@ -465,12 +481,55 @@ func (t *Team) sendBeacon(r *robot) {
 	}
 }
 
+// flushBeaconQueues applies every robot's queued beacon observations,
+// fanning robots with pending work across a bounded worker pool. Per-robot
+// localizer state is disjoint, each queue is applied FIFO by exactly one
+// goroutine, and no RNG stream is shared across robots, so the grids a
+// flush produces are byte-identical at any worker count — the pool only
+// changes which OS thread does the arithmetic.
+func (t *Team) flushBeaconQueues() {
+	var busy []*robot
+	for _, r := range t.robots {
+		if len(r.pending) > 0 {
+			busy = append(busy, r)
+		}
+	}
+	workers := t.updateWorkers
+	if workers > len(busy) {
+		workers = len(busy)
+	}
+	if workers <= 1 {
+		for _, r := range busy {
+			r.applyPending()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(busy) {
+					return
+				}
+				busy[i].applyPending()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // endWindow finalizes RF fixes, advances each robot's clock model, and
 // arms the per-robot sleep and wake timers for the next period.
 func (t *Team) endWindow(w sim.Time) {
 	cfg := t.cfg
 	now := t.sim.Now()
 	t.emitSimple(EventWindowEnd, -1)
+	// Apply the window's queued beacons before any localizer readout below.
+	t.flushBeaconQueues()
 	for _, r := range t.robots {
 		if r.failed {
 			continue
@@ -538,6 +597,10 @@ func (t *Team) endWindow(w sim.Time) {
 
 // finish flushes energy meters and aggregates counters into the result.
 func (t *Team) finish(res *Result) {
+	// Beacons delivered after the last window end (MAC delivery delay can
+	// push them past the endWindow event) would previously have been folded
+	// into the grid immediately; apply them so the localizer state matches.
+	t.flushBeaconQueues()
 	now := t.sim.Now()
 	for _, r := range t.robots {
 		res.FinalTruePositions = append(res.FinalTruePositions, r.truePos(now))

@@ -24,11 +24,26 @@ func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
 // Scale returns v scaled by s.
 func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
 
-// Len returns the Euclidean norm of v.
-func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+// Len returns the Euclidean norm of v. Coordinates are bounded by the
+// deployment area (hundreds of meters), so the plain sqrt form cannot
+// overflow and is several times cheaper than math.Hypot's scaled algorithm;
+// Len/Dist sit on the per-tick mobility and odometry hot paths.
+func (v Vec2) Len() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y) }
 
 // Dist returns the Euclidean distance between v and w.
-func (v Vec2) Dist(w Vec2) float64 { return math.Hypot(v.X-w.X, v.Y-w.Y) }
+func (v Vec2) Dist(w Vec2) float64 {
+	dx, dy := v.X-w.X, v.Y-w.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between v and w. It is the
+// exact radicand of Dist (same expression, same rounding), so
+// math.Sqrt(v.Dist2(w)) == v.Dist(w) bitwise — callers use it to defer or
+// skip the square root on range-check paths.
+func (v Vec2) Dist2(w Vec2) float64 {
+	dx, dy := v.X-w.X, v.Y-w.Y
+	return dx*dx + dy*dy
+}
 
 // Dot returns the dot product of v and w.
 func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }

@@ -11,6 +11,7 @@ package mac
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"cocoa/internal/geom"
@@ -114,11 +115,18 @@ type transmission struct {
 	start sim.Time
 	end   sim.Time
 	pos   geom.Vec2
+	// recs lists the receptions in progress for this frame, in the order
+	// they began (ascending receiver ID). Every reception ends exactly at
+	// tx.end, so one end-of-frame event walks this list instead of each
+	// reception scheduling its own — the walk order matches the scheduling
+	// order the per-reception events had, so outcomes are unchanged.
+	recs []*reception
 }
 
 // reception tracks one (transmission, receiver) pair in progress.
 type reception struct {
 	tx        *transmission
+	rcv       *station
 	rssi      float64
 	corrupted bool
 }
@@ -142,6 +150,19 @@ type Medium struct {
 	ordered  []*station
 	inflight []*transmission
 	stats    Stats
+	// freeRec and freeTx recycle reception/transmission structs: a dense
+	// deployment starts tens of thousands of receptions per run, and each
+	// one is dead by end-of-frame.
+	freeRec []*reception
+	freeTx  []*transmission
+	// Distance gates bracketing, in squared meters, where the monotone
+	// mean path-loss curve crosses the carrier-sense and the
+	// max-plausible-RSSI thresholds. Inside a bracket the exact dBm
+	// comparison runs; outside, a squared-distance compare replaces the
+	// Log10 — with identical outcomes, since MeanRSSI is non-increasing
+	// in distance.
+	senseNear2, senseFar2 float64
+	plausNear2, plausFar2 float64
 }
 
 // NewMedium builds a medium over the given simulator. The RNG stream drives
@@ -150,12 +171,50 @@ func NewMedium(s *sim.Simulator, cfg Config, rng *sim.RNG) (*Medium, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Medium{
+	m := &Medium{
 		cfg:      cfg,
 		sim:      s,
 		rng:      rng,
 		stations: make(map[int]*station),
-	}, nil
+	}
+	m.senseNear2, m.senseFar2 = rssiGate(
+		cfg.Model.MeanRSSI,
+		cfg.Model.DistanceForRSSI(cfg.Model.SensitivityDBm),
+		cfg.Model.SensitivityDBm)
+	// MaxPlausibleRSSI(d) < sensitivity iff MeanRSSI(d) < sensitivity-5*sigma.
+	plausDBm := cfg.Model.SensitivityDBm - 5*cfg.Model.ShadowSigmaDB
+	m.plausNear2, m.plausFar2 = rssiGate(
+		cfg.Model.MeanRSSI,
+		cfg.Model.DistanceForRSSI(plausDBm),
+		plausDBm)
+	return m, nil
+}
+
+// rssiGate brackets the crossing distance of the monotone non-increasing
+// curve f against threshold: d² <= near2 guarantees f(d) >= threshold and
+// d² >= far2 guarantees f(d) < threshold, both verified by evaluating f at
+// the bracket edges. Between the brackets callers must evaluate f, so gated
+// decisions are everywhere identical to ungated ones.
+func rssiGate(f func(float64) float64, cross, threshold float64) (near2, far2 float64) {
+	if !(cross > 0) || math.IsInf(cross, 0) {
+		return -1, math.Inf(1) // degenerate model: always evaluate f
+	}
+	near := cross * 0.999
+	for i := 0; f(near) < threshold; i++ {
+		if i == 60 || near == 0 {
+			near = 0
+			break
+		}
+		near *= 0.5
+	}
+	far := cross * 1.001
+	for i := 0; f(far) >= threshold; i++ {
+		if i == 60 || math.IsInf(far, 1) {
+			return near * near, math.Inf(1)
+		}
+		far *= 2
+	}
+	return near * near, far * far
 }
 
 // Attach registers an endpoint under the given node ID. Attaching the same
@@ -230,7 +289,14 @@ func (m *Medium) carrierBusy(st *station) bool {
 		if tx.from == st {
 			return true
 		}
-		if m.cfg.Model.MeanRSSI(pos.Dist(tx.pos)) >= m.cfg.Model.SensitivityDBm {
+		d2 := pos.Dist2(tx.pos)
+		if d2 <= m.senseNear2 {
+			return true
+		}
+		if d2 >= m.senseFar2 {
+			continue
+		}
+		if m.cfg.Model.MeanRSSI(math.Sqrt(d2)) >= m.cfg.Model.SensitivityDBm {
 			return true
 		}
 	}
@@ -242,7 +308,8 @@ func (m *Medium) transmit(st *station, f Frame) {
 	now := m.sim.Now()
 	totalBytes := f.Bytes + m.cfg.OverheadBytes
 	dur := m.cfg.PreambleS + m.cfg.Model.Airtime(totalBytes)
-	tx := &transmission{frame: f, from: st, start: now, end: now + dur, pos: st.ep.Position()}
+	tx := m.newTransmission()
+	tx.frame, tx.from, tx.start, tx.end, tx.pos = f, st, now, now+dur, st.ep.Position()
 	m.inflight = append(m.inflight, tx)
 	m.stats.Sent++
 	m.stats.BytesOnAir += totalBytes
@@ -252,6 +319,7 @@ func (m *Medium) transmit(st *station, f Frame) {
 	m.sim.Schedule(dur, func() {
 		st.ep.EndTx()
 		m.reap(tx)
+		m.finishReceptions(tx)
 	})
 
 	for _, rcv := range m.ordered {
@@ -262,13 +330,19 @@ func (m *Medium) transmit(st *station, f Frame) {
 	}
 }
 
-// beginReception decides the fate of tx at receiver rcv and schedules the
-// delivery (or loss) at end-of-frame.
+// beginReception decides the fate of tx at receiver rcv. Receptions that
+// survive the begin-of-frame checks are resolved by finishReceptions when
+// the frame leaves the air.
 func (m *Medium) beginReception(rcv *station, tx *transmission) {
-	d := rcv.ep.Position().Dist(tx.pos)
 	// Hard out-of-range cutoff: when even a +5-sigma fluctuation cannot
 	// reach sensitivity, skip the receiver without drawing noise.
-	if m.cfg.Model.MaxPlausibleRSSI(d) < m.cfg.Model.SensitivityDBm {
+	d2 := rcv.ep.Position().Dist2(tx.pos)
+	if d2 >= m.plausFar2 {
+		m.stats.BelowSense++
+		return
+	}
+	d := math.Sqrt(d2)
+	if d2 > m.plausNear2 && m.cfg.Model.MaxPlausibleRSSI(d) < m.cfg.Model.SensitivityDBm {
 		m.stats.BelowSense++
 		return
 	}
@@ -284,7 +358,8 @@ func (m *Medium) beginReception(rcv *station, tx *transmission) {
 		return
 	}
 
-	rec := &reception{tx: tx, rssi: rssi}
+	rec := m.newReception()
+	rec.tx, rec.rcv, rec.rssi = tx, rcv, rssi
 	// Collision resolution against receptions already in progress.
 	for _, other := range rcv.active {
 		switch {
@@ -298,10 +373,16 @@ func (m *Medium) beginReception(rcv *station, tx *transmission) {
 		}
 	}
 	rcv.active = append(rcv.active, rec)
+	tx.recs = append(tx.recs, rec)
 	rcv.ep.BeginRx()
+}
 
-	dur := tx.end - m.sim.Now()
-	m.sim.Schedule(dur, func() {
+// finishReceptions resolves every reception of tx at end-of-frame, in the
+// order the receptions began. Interleaving EndRx and Deliver per receiver
+// reproduces exactly what the former per-reception events did.
+func (m *Medium) finishReceptions(tx *transmission) {
+	for _, rec := range tx.recs {
+		rcv := rec.rcv
 		rcv.ep.EndRx()
 		rcv.removeReception(rec)
 		switch {
@@ -312,9 +393,43 @@ func (m *Medium) beginReception(rcv *station, tx *transmission) {
 			m.stats.MissedAsleep++
 		default:
 			m.stats.Delivered++
-			rcv.ep.Deliver(tx.frame, rssi)
+			rcv.ep.Deliver(tx.frame, rec.rssi)
 		}
-	})
+		m.releaseReception(rec)
+	}
+	m.releaseTransmission(tx)
+}
+
+// newReception pops a recycled reception or allocates a fresh one.
+func (m *Medium) newReception() *reception {
+	if n := len(m.freeRec); n > 0 {
+		rec := m.freeRec[n-1]
+		m.freeRec = m.freeRec[:n-1]
+		return rec
+	}
+	return &reception{}
+}
+
+func (m *Medium) releaseReception(rec *reception) {
+	*rec = reception{}
+	m.freeRec = append(m.freeRec, rec)
+}
+
+// newTransmission pops a recycled transmission or allocates a fresh one.
+func (m *Medium) newTransmission() *transmission {
+	if n := len(m.freeTx); n > 0 {
+		tx := m.freeTx[n-1]
+		m.freeTx = m.freeTx[:n-1]
+		return tx
+	}
+	return &transmission{}
+}
+
+func (m *Medium) releaseTransmission(tx *transmission) {
+	recs := tx.recs[:0]
+	*tx = transmission{}
+	tx.recs = recs
+	m.freeTx = append(m.freeTx, tx)
 }
 
 func (s *station) removeReception(r *reception) {

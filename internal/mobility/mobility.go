@@ -141,7 +141,13 @@ func (w *Waypoint) advance(now sim.Time) {
 			continue
 		}
 		dt := now - w.lastT
-		w.pos = w.pos.Add(w.dest.Sub(w.pos).Unit().Scale(w.speed * dt))
+		// The unit vector reuses d: Dist and Len share the same radicand
+		// (negation is exact), so dividing by d here is bit-identical to
+		// Unit() and saves its second square root. d > 0 because d == 0
+		// would have taken the arrival branch above.
+		v := w.dest.Sub(w.pos)
+		u := geom.Vec2{X: v.X / d, Y: v.Y / d}
+		w.pos = w.pos.Add(u.Scale(w.speed * dt))
 		w.lastT = now
 	}
 }

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileConfig names the diagnostic outputs of one process run. Empty
+// paths disable the corresponding profile, so the zero value is a no-op.
+type ProfileConfig struct {
+	// CPUPath receives a pprof CPU profile covering Start..stop.
+	CPUPath string
+	// MemPath receives a pprof heap profile captured at stop time (after a
+	// forced GC, so it reflects live objects, not transient garbage).
+	MemPath string
+	// TracePath receives a runtime execution trace covering Start..stop.
+	TracePath string
+}
+
+// Enabled reports whether any profile output is requested.
+func (c ProfileConfig) Enabled() bool {
+	return c.CPUPath != "" || c.MemPath != "" || c.TracePath != ""
+}
+
+// StartProfiles starts the requested collectors and returns a stop function
+// that finalizes every output file. The caller must invoke stop exactly
+// once (typically via defer); it returns the first error encountered while
+// finalizing. If StartProfiles itself fails, everything already started is
+// shut down before returning and stop is nil.
+func StartProfiles(cfg ProfileConfig) (stop func() error, err error) {
+	var (
+		cpuF   *os.File
+		traceF *os.File
+	)
+	fail := func(err error) (func() error, error) {
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		return nil, err
+	}
+
+	if cfg.CPUPath != "" {
+		cpuF, err = os.Create(cfg.CPUPath)
+		if err != nil {
+			return fail(fmt.Errorf("runner: cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			return fail(fmt.Errorf("runner: cpu profile: %w", err))
+		}
+	}
+	if cfg.TracePath != "" {
+		traceF, err = os.Create(cfg.TracePath)
+		if err != nil {
+			return fail(fmt.Errorf("runner: trace: %w", err))
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			return fail(fmt.Errorf("runner: trace: %w", err))
+		}
+	}
+
+	memPath := cfg.MemPath
+	return func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if traceF != nil {
+			trace.Stop()
+			keep(traceF.Close())
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			keep(cpuF.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				keep(fmt.Errorf("runner: mem profile: %w", err))
+			} else {
+				runtime.GC() // materialize live-object statistics
+				keep(pprof.WriteHeapProfile(f))
+				keep(f.Close())
+			}
+		}
+		return firstErr
+	}, nil
+}

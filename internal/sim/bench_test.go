@@ -11,6 +11,22 @@ func BenchmarkEventLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkEventChurn measures allocation pressure of a realistic
+// schedule/cancel/fire mix; with arena allocation, allocs/op amortize to
+// ~1/arenaChunk per event.
+func BenchmarkEventChurn(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e1 := s.Schedule(1, func() {})
+		s.Schedule(2, func() {})
+		s.Cancel(e1)
+		s.Step()
+	}
+	for s.Step() {
+	}
+}
+
 func BenchmarkRNGNormal(b *testing.B) {
 	g := NewRNG(1).Stream("bench")
 	for i := 0; i < b.N; i++ {

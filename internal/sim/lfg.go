@@ -1,0 +1,250 @@
+package sim
+
+// This file reimplements math/rand's additive lagged-Fibonacci source
+// (Mitchell & Reeds: vec[feed] += vec[tap] over 607 int64 words, tap
+// distance 273) so that stream construction is cheap. The stdlib source is
+// bit-exact but pays dearly at Seed time: 1841 Schrage-style Lehmer steps,
+// each with two integer divisions, behind a function call. CoCoA derives a
+// fresh named stream per robot per noise source — profiling shows close to
+// half of a small scenario's wall clock inside rngSource.Seed — so seeding
+// is a hot path here even though it is a one-off cost for typical users.
+//
+// Two changes make it fast while keeping every draw bit-identical:
+//
+//  1. seedrand computes 48271·x mod (2³¹−1) with a 64-bit multiply and a
+//     Mersenne fold instead of Schrage's two divisions.
+//  2. A bounded cache maps seed → fully-seeded state vector, so re-deriving
+//     a stream someone already paid for (replications, sweeps over configs
+//     at a fixed seed, benchmark loops) is a 607-word copy.
+//
+// The seeding constants (math/rand's rngCooked table) are not copied from
+// the stdlib source file: they are recovered algebraically at init by
+// draining one stdlib generator and inverting the recurrence, then verified
+// against a second stdlib stream. Bit-equality with math/rand is therefore
+// checked at process start and again, across many seeds, in the tests.
+
+import (
+	"math/rand"
+	"sync"
+)
+
+const (
+	lfgLen   = 607
+	lfgTap   = 273
+	lfgFeed  = lfgLen - lfgTap // 334
+	lfgMask  = 1<<63 - 1
+	lehmerM  = 1<<31 - 1 // 2³¹−1, the Mersenne modulus of the seeding LCG
+	lehmerA  = 48271
+	seedZero = 89482311 // stdlib's replacement for the degenerate seed 0
+)
+
+// seedCooked holds math/rand's rngCooked seeding table, recovered at init
+// by recoverCooked. Stored in the XOR domain as uint64.
+var seedCooked [lfgLen]uint64
+
+// seedrand advances the seeding LCG: x ← 48271·x mod (2³¹−1). The stdlib
+// uses Schrage's decomposition to stay within 32-bit intermediates; with a
+// 64-bit multiply available, reducing modulo a Mersenne number is a fold:
+// for p = q·2³¹ + r, p ≡ q + r (mod 2³¹−1). q < 48271 so one conditional
+// subtraction canonicalizes. Agreement with the Schrage form is exhaustive-
+// randomly tested in lfg_test.go.
+func seedrand(x int32) int32 {
+	p := uint64(x) * lehmerA
+	v := (p & lehmerM) + (p >> 31)
+	if v >= lehmerM {
+		v -= lehmerM
+	}
+	return int32(v)
+}
+
+// lfgSource is a drop-in replacement for the value returned by
+// rand.NewSource, emitting the identical stream for every seed.
+type lfgSource struct {
+	tap, feed int
+	vec       [lfgLen]int64
+}
+
+var _ rand.Source64 = (*lfgSource)(nil)
+
+// seedVecs caches fully-seeded state vectors by seed. Entries are immutable
+// once stored; sources copy out of the cache. Bounded so pathological seed
+// diversity cannot grow memory without limit (each entry is ~4.9 KB).
+var seedVecs struct {
+	sync.Mutex
+	m map[int64]*[lfgLen]int64
+}
+
+const seedVecsLimit = 1024
+
+// newSource returns a Source64 seeded like rand.NewSource(seed).
+func newSource(seed int64) *lfgSource {
+	s := &lfgSource{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the source to the canonical stream for seed.
+func (s *lfgSource) Seed(seed int64) {
+	s.tap = 0
+	s.feed = lfgFeed
+
+	seedVecs.Lock()
+	if v, ok := seedVecs.m[seed]; ok {
+		seedVecs.Unlock()
+		s.vec = *v
+		return
+	}
+	seedVecs.Unlock()
+
+	x := int32(seed % lehmerM)
+	if x < 0 {
+		x += lehmerM
+	}
+	if x == 0 {
+		x = seedZero
+	}
+	for i := -20; i < lfgLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := uint64(x) << 40
+			x = seedrand(x)
+			u ^= uint64(x) << 20
+			x = seedrand(x)
+			u ^= uint64(x)
+			u ^= seedCooked[i]
+			s.vec[i] = int64(u)
+		}
+	}
+
+	v := s.vec // copy: the cached template must not alias live state
+	seedVecs.Lock()
+	if seedVecs.m == nil {
+		seedVecs.m = make(map[int64]*[lfgLen]int64)
+	}
+	if len(seedVecs.m) >= seedVecsLimit {
+		for k := range seedVecs.m { // evict an arbitrary entry
+			delete(seedVecs.m, k)
+			break
+		}
+	}
+	seedVecs.m[seed] = &v
+	seedVecs.Unlock()
+}
+
+// Uint64 returns the next 64-bit word of the lagged-Fibonacci stream.
+func (s *lfgSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += lfgLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += lfgLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 returns the low 63 bits of the next word, matching rngSource.
+func (s *lfgSource) Int63() int64 {
+	return int64(s.Uint64() & lfgMask)
+}
+
+// recoverCooked reconstructs the stdlib's rngCooked seeding table without
+// copying it: drain 607 outputs from a stdlib source and invert the
+// generator. The k-th output (k = 1…) reads positions feed = 334−k and
+// tap = 607−k (mod 607) and overwrites the feed slot, so with out[k] the
+// k-th output and vec[] the post-Seed state (all arithmetic in wrapping
+// uint64):
+//
+//	k ∈ [335,607]: feed slot 941−k is still pristine and the tap slot was
+//	               overwritten at step k−273, so vec[941−k] = out[k] − out[k−273]
+//	k ∈ [274,334]: same shape on the low side: vec[334−k] = out[k] − out[k−273]
+//	k ∈ [  1,273]: both operands pristine: vec[334−k] = out[k] − vec[607−k]
+//
+// That yields the full post-Seed vector for the probe seed; XORing away the
+// seeding LCG's contribution (the u-triples above) leaves rngCooked.
+func recoverCooked() {
+	const probeSeed = 1
+	src, ok := rand.NewSource(probeSeed).(rand.Source64)
+	if !ok {
+		panic("sim: math/rand source does not implement Source64")
+	}
+	var out [lfgLen + 1]uint64 // 1-indexed
+	for k := 1; k <= lfgLen; k++ {
+		out[k] = src.Uint64()
+	}
+	var vec [lfgLen]uint64
+	for k := 335; k <= lfgLen; k++ {
+		vec[941-k] = out[k] - out[k-273]
+	}
+	for k := 274; k <= 334; k++ {
+		vec[334-k] = out[k] - out[k-273]
+	}
+	for k := 1; k <= 273; k++ {
+		vec[334-k] = out[k] - vec[607-k]
+	}
+
+	// Strip the seeding LCG stream for the probe seed, leaving the table.
+	x := int32(probeSeed)
+	for i := -20; i < lfgLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := uint64(x) << 40
+			x = seedrand(x)
+			u ^= uint64(x) << 20
+			x = seedrand(x)
+			u ^= uint64(x)
+			seedCooked[i] = vec[i] ^ u
+		}
+	}
+
+	// Self-check before anything trusts the table: a fresh lfgSource must
+	// continue the drained stdlib stream after skipping the probe draws,
+	// and must agree with a second stdlib source on an unrelated seed.
+	probe := &lfgSource{}
+	probe.seedUncached(probeSeed)
+	for k := 1; k <= lfgLen; k++ {
+		if probe.Uint64() != out[k] {
+			panic("sim: lagged-Fibonacci table recovery failed self-check")
+		}
+	}
+	ref, _ := rand.NewSource(20240527).(rand.Source64)
+	probe.seedUncached(20240527)
+	for i := 0; i < 64; i++ {
+		if probe.Uint64() != ref.Uint64() {
+			panic("sim: lagged-Fibonacci source diverges from math/rand")
+		}
+	}
+}
+
+// seedUncached is Seed without the template cache, for the init self-check
+// (the cache must not be populated before the table is validated).
+func (s *lfgSource) seedUncached(seed int64) {
+	s.tap = 0
+	s.feed = lfgFeed
+	x := int32(seed % lehmerM)
+	if x < 0 {
+		x += lehmerM
+	}
+	if x == 0 {
+		x = seedZero
+	}
+	for i := -20; i < lfgLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := uint64(x) << 40
+			x = seedrand(x)
+			u ^= uint64(x) << 20
+			x = seedrand(x)
+			u ^= uint64(x)
+			u ^= seedCooked[i]
+			s.vec[i] = int64(u)
+		}
+	}
+}
+
+func init() {
+	recoverCooked()
+}

@@ -15,9 +15,11 @@ type RNG struct {
 	r    *rand.Rand
 }
 
-// NewRNG returns a root random stream for the given seed.
+// NewRNG returns a root random stream for the given seed. The underlying
+// source is the in-package lagged-Fibonacci reimplementation (see lfg.go),
+// bit-identical to rand.NewSource but ~10× cheaper to construct.
 func NewRNG(seed int64) *RNG {
-	return &RNG{seed: uint64(seed), r: rand.New(rand.NewSource(seed))}
+	return &RNG{seed: uint64(seed), r: rand.New(newSource(seed))}
 }
 
 // Stream derives an independent named sub-stream. The derivation hashes the
@@ -32,7 +34,7 @@ func (g *RNG) Stream(name string) *RNG {
 	_, _ = h.Write(b[:])
 	_, _ = h.Write([]byte(name))
 	s := h.Sum64()
-	return &RNG{seed: s, r: rand.New(rand.NewSource(int64(s)))}
+	return &RNG{seed: s, r: rand.New(newSource(int64(s)))}
 }
 
 // StreamN derives an independent sub-stream keyed by name and an index,
@@ -50,7 +52,7 @@ func (g *RNG) StreamN(name string, n int) *RNG {
 	}
 	_, _ = h.Write(b[:])
 	s := h.Sum64()
-	return &RNG{seed: s, r: rand.New(rand.NewSource(int64(s)))}
+	return &RNG{seed: s, r: rand.New(newSource(int64(s)))}
 }
 
 // Float64 returns a uniform sample in [0, 1).

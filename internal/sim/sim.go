@@ -76,12 +76,26 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// arenaChunk is how many Events each arena block holds. Events are
+// allocated from chunks rather than individually: a busy scenario schedules
+// hundreds of thousands of short-lived events (MAC timers, delivery
+// callbacks, ticks), and one heap allocation per event dominated the
+// engine's allocation profile. Chunks are never reused for new events —
+// callers hold *Event across firing (Cancel after fire must stay a no-op)
+// — so a drained chunk is simply dropped for the GC to collect.
+const arenaChunk = 256
+
 // Simulator owns the virtual clock and the event calendar.
 type Simulator struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+
+	// arena is the current Event allocation block; arenaPos indexes the
+	// next free slot.
+	arena    []Event
+	arenaPos int
 
 	// processed counts events executed, for diagnostics and tests.
 	processed uint64
@@ -118,7 +132,13 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: time %v before now %v: %v", t, s.now, ErrNegativeDelay))
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	if s.arenaPos == len(s.arena) {
+		s.arena = make([]Event, arenaChunk)
+		s.arenaPos = 0
+	}
+	e := &s.arena[s.arenaPos]
+	s.arenaPos++
+	*e = Event{time: t, seq: s.seq, fn: fn, index: -1}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
@@ -131,6 +151,7 @@ func (s *Simulator) Cancel(e *Event) {
 		return
 	}
 	e.canceled = true
+	e.fn = nil // release the closure; canceled events never fire
 	if e.index >= 0 {
 		heap.Remove(&s.queue, e.index)
 	}
@@ -154,7 +175,9 @@ func (s *Simulator) Step() bool {
 		s.now = e.time
 		s.processed++
 		e.canceled = true // mark fired so Cancel after firing is a no-op
-		e.fn()
+		fn := e.fn
+		e.fn = nil // let the GC reclaim the closure before the chunk dies
+		fn()
 		return true
 	}
 	return false

@@ -218,6 +218,40 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
+// TestArenaChunkBoundaries schedules far more events than one arena chunk
+// holds, interleaving cancels and nested scheduling, and checks every
+// surviving event fires exactly once in order.
+func TestArenaChunkBoundaries(t *testing.T) {
+	s := New()
+	const n = 10 * arenaChunk
+	var fired []int
+	events := make([]*Event, n)
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = s.Schedule(float64(i), func() { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i += 3 {
+		s.Cancel(events[i])
+	}
+	s.Run()
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		if want >= len(fired) || fired[want] != i {
+			t.Fatalf("fired[%d] wrong: got %v", want, fired[want])
+		}
+		want++
+	}
+	if want != len(fired) {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+	for _, e := range events {
+		s.Cancel(e) // cancel after fire must stay a no-op across chunks
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a := NewRNG(42).Stream("channel")
 	b := NewRNG(42).Stream("channel")
