@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz check bench bench-smoke bench-json clean
+.PHONY: all build test vet race fuzz check bench bench-smoke bench-json \
+	cover cover-check bench-compare clean
 
 all: build
 
@@ -26,12 +27,23 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEventlogRoundTrip -fuzztime=$(FUZZTIME) ./internal/eventlog
 	$(GO) test -run='^$$' -fuzz=FuzzTabulateAgreement -fuzztime=$(FUZZTIME) ./internal/caltable
 
+# cover prints per-package statement coverage; cover-check additionally
+# enforces the floors in coverage_floor.txt (see cmd/covergate). Floors
+# ratchet upward as tests improve.
+cover:
+	$(GO) test -cover ./...
+
+cover-check:
+	$(GO) test -cover ./... | $(GO) run ./cmd/covergate -floors coverage_floor.txt
+
 # check is the gate a change must pass before it lands: static analysis,
 # the full suite under the race detector (the experiment engine fans runs
 # out across goroutines, so -race is not optional here), a short fuzz pass
-# over the serialization/loss-channel/LUT targets, and a one-iteration
-# benchmark smoke so bench-only code paths cannot rot between bench runs.
-check: vet race fuzz bench-smoke
+# over the serialization/loss-channel/LUT targets, a one-iteration
+# benchmark smoke so bench-only code paths cannot rot between bench runs,
+# the per-package coverage floor gate, and the headline-benchmark
+# regression gate.
+check: vet race fuzz bench-smoke cover-check bench-compare
 
 # bench regenerates every paper figure at reduced scale, including the
 # serial-vs-parallel engine pair (BenchmarkReplication*).
@@ -43,12 +55,20 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# bench-json refreshes the checked-in benchmark trajectory (BENCH_PR3.json)
+# bench-json refreshes the checked-in benchmark trajectory
 # from a full -benchmem run; see README "Benchmark tracking" for the format.
-BENCHJSON_OUT ?= BENCH_PR3.json
+BENCHJSON_OUT ?= BENCH_PR4.json
 
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
+
+# bench-compare re-times just the headline benchmarks (root package) and
+# fails on a >25% ns/op regression against the checked-in baseline.
+BENCH_BASELINE ?= BENCH_PR3.json
+
+bench-compare:
+	$(GO) test -run='^$$' -bench='^(BenchmarkReplicationSerial|BenchmarkFig4OdometryOnly)$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE)
 
 clean:
 	$(GO) clean ./...

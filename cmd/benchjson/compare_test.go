@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, benchmarks map[string]Entry) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	b, err := json.Marshal(Report{Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// benchLog fabricates a `go test -bench` log with one headline result.
+func benchLog(pkg, name string, nsPerOp float64) string {
+	return fmt.Sprintf("pkg: %s\n%s-8   100   %.1f ns/op\n", pkg, name, nsPerOp)
+}
+
+func TestCompareHeadlines(t *testing.T) {
+	const key = "cocoa.BenchmarkReplicationSerial"
+	cases := []struct {
+		name    string
+		baseNs  float64
+		curNs   float64
+		wantErr string
+	}{
+		{"unchanged", 1000, 1000, ""},
+		{"improved", 1000, 500, ""},
+		{"within threshold", 1000, 1240, ""},
+		{"at threshold boundary", 1000, 1250, ""},
+		{"regressed", 1000, 1300, "regression"},
+		{"order of magnitude", 1000, 10000, "regression"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := writeBaseline(t, map[string]Entry{key: {Iterations: 100, NsPerOp: tc.baseNs}})
+			log := benchLog("cocoa", "BenchmarkReplicationSerial", tc.curNs)
+			var out strings.Builder
+			err := run([]string{"-compare", base, "-headline", key},
+				strings.NewReader(log), &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, out.String())
+				}
+				if !strings.Contains(out.String(), key) {
+					t.Errorf("comparison table missing %s:\n%s", key, out.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCompareMissingBenchmarks(t *testing.T) {
+	const key = "cocoa.BenchmarkReplicationSerial"
+	log := benchLog("cocoa", "BenchmarkReplicationSerial", 1000)
+
+	// Headline absent from the baseline: fail loudly, never skip.
+	base := writeBaseline(t, map[string]Entry{"cocoa.Other": {Iterations: 1, NsPerOp: 1}})
+	var out strings.Builder
+	err := run([]string{"-compare", base, "-headline", key}, strings.NewReader(log), &out)
+	if err == nil || !strings.Contains(err.Error(), "missing from baseline") {
+		t.Errorf("missing baseline entry: err = %v", err)
+	}
+
+	// Headline absent from the current run.
+	base = writeBaseline(t, map[string]Entry{key: {Iterations: 1, NsPerOp: 1000}})
+	err = run([]string{"-compare", base, "-headline", "cocoa.BenchmarkGhost"},
+		strings.NewReader(log), &out)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing current entry: err = %v", err)
+	}
+
+	// Unusable baseline value.
+	base = writeBaseline(t, map[string]Entry{key: {Iterations: 1, NsPerOp: 0}})
+	err = run([]string{"-compare", base, "-headline", key}, strings.NewReader(log), &out)
+	if err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Errorf("zero baseline: err = %v", err)
+	}
+
+	// Empty headline list.
+	err = run([]string{"-compare", base, "-headline", " , "}, strings.NewReader(log), &out)
+	if err == nil || !strings.Contains(err.Error(), "at least one") {
+		t.Errorf("empty headline list: err = %v", err)
+	}
+
+	// Unreadable baseline file.
+	err = run([]string{"-compare", filepath.Join(t.TempDir(), "absent.json")},
+		strings.NewReader(log), &out)
+	if err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}
+
+func TestCompareCustomThreshold(t *testing.T) {
+	const key = "cocoa.BenchmarkReplicationSerial"
+	base := writeBaseline(t, map[string]Entry{key: {Iterations: 100, NsPerOp: 1000}})
+	log := benchLog("cocoa", "BenchmarkReplicationSerial", 1100)
+	var out strings.Builder
+	if err := run([]string{"-compare", base, "-headline", key, "-threshold", "0.25"},
+		strings.NewReader(log), &out); err != nil {
+		t.Errorf("+10%% failed the default-style gate: %v", err)
+	}
+	if err := run([]string{"-compare", base, "-headline", key, "-threshold", "0.05"},
+		strings.NewReader(log), &out); err == nil {
+		t.Error("+10% passed a 5% gate")
+	}
+}
+
+// The default headline set must reference benchmarks that exist in the
+// checked-in baseline, or make check's gate would be vacuous.
+func TestDefaultHeadlinesExistInCheckedInBaseline(t *testing.T) {
+	rep, err := readReport("../../BENCH_PR3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range defaultHeadlines {
+		if _, ok := rep.Benchmarks[key]; !ok {
+			t.Errorf("default headline %s not in BENCH_PR3.json", key)
+		}
+	}
+}

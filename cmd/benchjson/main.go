@@ -8,6 +8,12 @@
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH_PR3.json
 //	benchjson bench.txt            # read a saved log instead of stdin
 //
+// Regression gate: -compare old.json checks the parsed (or -in) report's
+// headline benchmarks against a checked-in baseline and exits non-zero
+// when any regresses by more than -threshold (default 25%) in ns/op:
+//
+//	go test -bench=. -benchmem ./... | benchjson -compare BENCH_PR3.json
+//
 // The parser understands the standard testing package line format,
 // including -benchmem columns and custom ReportMetric units:
 //
@@ -58,6 +64,10 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default: stdout)")
+	compare := fs.String("compare", "", "baseline report to gate against; exit non-zero on headline ns/op regression")
+	headline := fs.String("headline", strings.Join(defaultHeadlines, ","),
+		"comma-separated benchmark keys gated by -compare")
+	threshold := fs.Float64("threshold", 0.25, "allowed fractional ns/op increase before -compare fails")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +90,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
 
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			return err
+		}
+		return compareHeadlines(stdout, base, rep, splitHeadlines(*headline), *threshold)
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -90,6 +108,75 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	_, err = stdout.Write(buf)
 	return err
+}
+
+// defaultHeadlines are the benchmarks the repo tracks PR-over-PR: the
+// serial replication run (the end-to-end hot path) and the odometry-only
+// figure (the cheapest full-stack workload). make check gates on these
+// against the checked-in baseline.
+var defaultHeadlines = []string{
+	"cocoa.BenchmarkReplicationSerial",
+	"cocoa.BenchmarkFig4OdometryOnly",
+}
+
+func splitHeadlines(s string) []string {
+	var out []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func readReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareHeadlines checks each named benchmark's ns/op in cur against
+// base and fails when any regressed beyond the threshold. A headline
+// missing from either side fails too — silently skipping a renamed or
+// deleted benchmark would defeat the gate.
+func compareHeadlines(w io.Writer, base, cur *Report, headlines []string, threshold float64) error {
+	if len(headlines) == 0 {
+		return fmt.Errorf("-compare needs at least one -headline benchmark")
+	}
+	var failures []string
+	for _, key := range headlines {
+		b, inBase := base.Benchmarks[key]
+		c, inCur := cur.Benchmarks[key]
+		switch {
+		case !inBase:
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline", key))
+			continue
+		case !inCur:
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", key))
+			continue
+		case b.NsPerOp <= 0:
+			failures = append(failures, fmt.Sprintf("%s: baseline ns/op %v unusable", key, b.NsPerOp))
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		fmt.Fprintf(w, "benchjson: %-44s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			key, b.NsPerOp, c.NsPerOp, 100*(ratio-1))
+		if ratio > 1+threshold {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%% > %.0f%% allowed)",
+					key, b.NsPerOp, c.NsPerOp, 100*(ratio-1), 100*threshold))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // Parse consumes a `go test -bench` log and extracts every benchmark line.

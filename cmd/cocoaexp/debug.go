@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+
+	"cocoa/internal/telemetry"
+)
+
+// publishOnce guards expvar registration: expvar.Publish panics on a
+// duplicate name, and tests call run() many times in one process.
+var publishOnce sync.Once
+
+// publishTelemetryVar exposes the process-global registry as the expvar
+// variable "telemetry", so /debug/vars serves a full snapshot alongside
+// the standard memstats/cmdline variables.
+func publishTelemetryVar() {
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return telemetry.Default.Snapshot()
+		}))
+	})
+}
+
+// startDebugServer serves expvar under /debug/vars and the pprof suite
+// under /debug/pprof/ on its own mux (never http.DefaultServeMux, which
+// would leak handlers into importers). It returns the actual listen
+// address so ":0" works in tests. The server runs for the remaining
+// process lifetime; there is nothing to shut down cleanly mid-suite.
+func startDebugServer(addr string) (string, error) {
+	publishTelemetryVar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug server: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}
+
+// writeTelemetrySnapshot serializes the final registry state to path as
+// indented JSON. Snapshot ordering is name-sorted, so repeated runs of
+// the same suite produce diffable files.
+func writeTelemetrySnapshot(path string) error {
+	b, err := json.MarshalIndent(telemetry.Default.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("telemetry snapshot: %w", err)
+	}
+	return nil
+}
+
+// printTelemetryDelta appends one experiment's instrument deltas to the
+// progress stream. Only sim-deterministic quantities are printed —
+// counters and histogram counts/means, never wall-clock span totals — so
+// the table is identical at any parallelism level.
+func printTelemetryDelta(w io.Writer, d telemetry.Snapshot) {
+	wrote := false
+	for _, c := range d.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintln(w, "  telemetry:")
+			wrote = true
+		}
+		fmt.Fprintf(w, "    %-32s %d\n", c.Name, c.Value)
+	}
+	for _, h := range d.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintln(w, "  telemetry:")
+			wrote = true
+		}
+		fmt.Fprintf(w, "    %-32s count=%d mean=%.2f\n", h.Name, h.Count, h.Sum/float64(h.Count))
+	}
+}

@@ -34,7 +34,12 @@ import (
 
 	"cocoa"
 	"cocoa/internal/runner"
+	"cocoa/internal/telemetry"
 )
+
+// stderr carries progress and diagnostics; a package variable so tests
+// can capture it. Figure output always goes to run's writer.
+var stderr io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -46,17 +51,30 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cocoaexp", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,faults,baseline,ablations or all")
-		quick    = fs.Bool("quick", false, "scaled-down runs (12 robots, 300 s)")
-		seed     = fs.Int64("seed", 1, "experiment seed")
-		parallel = fs.Int("parallel", 0, "concurrent simulation runs per experiment (0 = all CPUs, 1 = serial)")
-		progress = fs.Bool("progress", false, "print per-run progress while an experiment executes")
-		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
-		memProf  = fs.String("memprofile", "", "write a pprof heap profile (captured at exit) to this file")
-		traceOut = fs.String("trace", "", "write a runtime execution trace to this file")
+		fig       = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,faults,baseline,ablations or all")
+		quick     = fs.Bool("quick", false, "scaled-down runs (12 robots, 300 s)")
+		seed      = fs.Int64("seed", 1, "experiment seed")
+		parallel  = fs.Int("parallel", 0, "concurrent simulation runs per experiment (0 = all CPUs, 1 = serial)")
+		progress  = fs.Bool("progress", false, "print per-run progress while an experiment executes")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile (captured at exit) to this file")
+		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
+		telemOut  = fs.String("telemetry", "", "enable runtime telemetry and write the final snapshot as JSON to this file")
+		debugAddr = fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *telemOut != "" || *debugAddr != "" {
+		telemetry.Default.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		actual, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "debug server listening on http://%s/debug/vars\n", actual)
 	}
 
 	prof := runner.ProfileConfig{CPUPath: *cpuProf, MemPath: *memProf, TracePath: *traceOut}
@@ -85,9 +103,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *progress {
 		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r  run %d/%d", done, total)
+			fmt.Fprintf(stderr, "\r  run %d/%d", done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
@@ -103,6 +121,10 @@ func run(args []string, w io.Writer) error {
 		if !ok {
 			return fmt.Errorf("experiment %q has no renderer", d.Name)
 		}
+		var before telemetry.Snapshot
+		if telemetry.Default.Enabled() && *progress {
+			before = telemetry.Default.Snapshot()
+		}
 		res, err := d.Run(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.Name, err)
@@ -111,11 +133,19 @@ func run(args []string, w io.Writer) error {
 		if err := render(w, res); err != nil {
 			return fmt.Errorf("%s: %w", d.Name, err)
 		}
+		if telemetry.Default.Enabled() && *progress {
+			printTelemetryDelta(stderr, telemetry.Diff(before, telemetry.Default.Snapshot()))
+		}
 	}
 	if !matched {
 		return fmt.Errorf("unknown figure %q (see -fig usage)", *fig)
 	}
 	fmt.Fprintf(w, "\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if *telemOut != "" {
+		if err := writeTelemetrySnapshot(*telemOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"cocoa/internal/telemetry"
+)
+
+// resetTelemetry restores the process-global registry around a test that
+// enables it; counters accumulated by one test must not leak asserts
+// into another.
+func resetTelemetry(t *testing.T) {
+	t.Helper()
+	wasEnabled := telemetry.Default.Enabled()
+	t.Cleanup(func() {
+		telemetry.Default.SetEnabled(wasEnabled)
+		telemetry.Default.Reset()
+	})
+	telemetry.Default.Reset()
+}
+
+func TestTelemetryFlagWritesSnapshot(t *testing.T) {
+	resetTelemetry(t)
+	path := filepath.Join(t.TempDir(), "telem.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "rob-replication", "-telemetry", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if !snap.Enabled {
+		t.Error("snapshot says telemetry was disabled")
+	}
+	nonzero := map[string]int64{}
+	for _, c := range snap.Counters {
+		if c.Value > 0 {
+			nonzero[c.Name] = c.Value
+		}
+	}
+	// The acceptance bar: a replication run must move sim, mac, and
+	// cocoa instruments.
+	for _, name := range []string{"sim.events_dispatched", "mac.sent", "cocoa.beacons_sent"} {
+		if nonzero[name] == 0 {
+			t.Errorf("counter %s = 0 after a replication run", name)
+		}
+	}
+}
+
+func TestTelemetryFlagInvalidPath(t *testing.T) {
+	resetTelemetry(t)
+	var buf bytes.Buffer
+	err := run([]string{"-quick", "-fig", "1", "-telemetry", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")}, &buf)
+	if err == nil {
+		t.Fatal("unwritable -telemetry path accepted")
+	}
+}
+
+// Snapshot names must be sorted and unique in every category — the
+// stable-order contract downstream diffing depends on.
+func TestSnapshotRegistryNamesStable(t *testing.T) {
+	resetTelemetry(t)
+	telemetry.Default.SetEnabled(true)
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "failures"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := telemetry.Default.Snapshot()
+	categories := map[string][]string{}
+	for _, c := range snap.Counters {
+		categories["counters"] = append(categories["counters"], c.Name)
+	}
+	for _, g := range snap.Gauges {
+		categories["gauges"] = append(categories["gauges"], g.Name)
+	}
+	for _, h := range snap.Histograms {
+		categories["histograms"] = append(categories["histograms"], h.Name)
+	}
+	for _, s := range snap.Spans {
+		categories["spans"] = append(categories["spans"], s.Name)
+	}
+	if len(categories["counters"]) == 0 {
+		t.Fatal("no counters registered after a run")
+	}
+	for cat, names := range categories {
+		if !sort.StringsAreSorted(names) {
+			t.Errorf("%s not sorted: %v", cat, names)
+		}
+		seen := map[string]bool{}
+		for _, n := range names {
+			if seen[n] {
+				t.Errorf("duplicate %s name %q", cat, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// -telemetry composes with -cpuprofile: both files must materialize and
+// the run must succeed.
+func TestTelemetryWithCPUProfile(t *testing.T) {
+	resetTelemetry(t)
+	dir := t.TempDir()
+	telem := filepath.Join(dir, "t.json")
+	prof := filepath.Join(dir, "cpu.pprof")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "1", "-telemetry", telem, "-cpuprofile", prof}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{telem, prof} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("%s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestDebugAddrServesExpvarAndPprof(t *testing.T) {
+	resetTelemetry(t)
+	oldStderr := stderr
+	var errBuf bytes.Buffer
+	stderr = &errBuf
+	defer func() { stderr = oldStderr }()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "1", "-debug-addr", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The actual address is announced on stderr.
+	line := errBuf.String()
+	const marker = "http://"
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("no listen address announced: %q", line)
+	}
+	base := strings.TrimSpace(line[i:])
+	base = strings.TrimSuffix(base, "/debug/vars")
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var vars struct {
+		Telemetry telemetry.Snapshot `json:"telemetry"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("expvar payload not JSON: %v", err)
+	}
+	if !vars.Telemetry.Enabled || len(vars.Telemetry.Counters) == 0 {
+		t.Errorf("expvar telemetry empty: %+v", vars.Telemetry)
+	}
+	if !bytes.Contains(get("/debug/pprof/"), []byte("profile")) {
+		t.Error("pprof index missing profile links")
+	}
+}
+
+func TestDebugAddrInvalid(t *testing.T) {
+	resetTelemetry(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-fig", "1", "-debug-addr", "256.0.0.1:bad"}, &buf); err == nil {
+		t.Fatal("unusable -debug-addr accepted")
+	}
+}
+
+// With -progress and telemetry on, each experiment appends a counter
+// delta table to the progress stream — and those deltas are identical at
+// any parallelism, because only sim-deterministic quantities print.
+func TestTelemetryDeltaTableDeterministic(t *testing.T) {
+	resetTelemetry(t)
+	table := func(parallel int) string {
+		t.Helper()
+		oldStderr := stderr
+		var errBuf bytes.Buffer
+		stderr = &errBuf
+		defer func() { stderr = oldStderr }()
+		telemetry.Default.Reset()
+		path := filepath.Join(t.TempDir(), "t.json")
+		var buf bytes.Buffer
+		args := []string{"-quick", "-fig", "failures", "-progress",
+			"-telemetry", path, "-parallel", fmt.Sprint(parallel)}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		// Keep only the delta table lines; run counters are interleaved
+		// with \r progress updates.
+		var lines []string
+		for _, l := range strings.Split(errBuf.String(), "\n") {
+			if strings.HasPrefix(l, "    ") || strings.HasPrefix(l, "  telemetry:") {
+				lines = append(lines, l)
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	serial := table(1)
+	if !strings.Contains(serial, "telemetry:") || !strings.Contains(serial, "cocoa.fixes") {
+		t.Fatalf("delta table missing expected lines:\n%s", serial)
+	}
+	if parallel := table(4); parallel != serial {
+		t.Errorf("telemetry delta differs across parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

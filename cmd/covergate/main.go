@@ -1,0 +1,182 @@
+// Command covergate enforces per-package statement-coverage floors.
+//
+// It reads `go test -cover ./...` output on stdin (or -in file), parses
+// the per-package coverage percentages, and compares them against the
+// floors listed in a text file (-floors, default coverage_floor.txt):
+//
+//	# comment
+//	cocoa/internal/mac 85.0
+//
+// Any floored package that is missing from the report, reports "[no test
+// files]", or lands below its floor fails the gate with a non-zero exit.
+// Packages without a floor line are reported but never gate — floors are
+// raised deliberately, not inferred.
+//
+// Usage:
+//
+//	go test -cover ./... | go run ./cmd/covergate -floors coverage_floor.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("covergate", flag.ContinueOnError)
+	floorsPath := fs.String("floors", "coverage_floor.txt", "per-package coverage floor file")
+	inPath := fs.String("in", "", "read the go test -cover report from this file instead of stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	report, err := parseReport(in)
+	if err != nil {
+		return err
+	}
+
+	failures := check(floors, report)
+	for _, pkg := range sortedKeys(report) {
+		if _, gated := floors[pkg]; !gated && report[pkg] >= 0 {
+			fmt.Fprintf(stdout, "covergate: %-40s %5.1f%% (no floor)\n", pkg, report[pkg])
+		}
+	}
+	for _, pkg := range sortedKeys(floors) {
+		cov, ok := report[pkg]
+		switch {
+		case !ok:
+			fmt.Fprintf(stdout, "covergate: %-40s MISSING  (floor %.1f%%)\n", pkg, floors[pkg])
+		case cov < 0:
+			fmt.Fprintf(stdout, "covergate: %-40s NO TESTS (floor %.1f%%)\n", pkg, floors[pkg])
+		default:
+			fmt.Fprintf(stdout, "covergate: %-40s %5.1f%% (floor %.1f%%)\n", pkg, cov, floors[pkg])
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("coverage below floor:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// readFloors parses the floor file: one "import/path percent" pair per
+// line; blank lines and #-comments are skipped.
+func readFloors(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"package percent\", got %q", path, lineno, line)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("%s:%d: bad percentage %q", path, lineno, fields[1])
+		}
+		floors[fields[0]] = pct
+	}
+	return floors, sc.Err()
+}
+
+var (
+	// ok  	cocoa/internal/mac	0.010s	coverage: 87.3% of statements
+	coveredRe = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+	// ok  	cocoa/internal/x	0.01s	[no statements] / coverage: [no statements]
+	noStmtRe = regexp.MustCompile(`^ok\s+(\S+)\s+.*\[no statements\]`)
+	// ?   	cocoa/internal/telemetry	[no test files]
+	noTestRe = regexp.MustCompile(`^\?\s+(\S+)\s+\[no test files\]`)
+)
+
+// parseReport extracts per-package coverage from go test -cover output.
+// A package with no test files maps to -1 so the gate can distinguish
+// "missing from report" from "present but untested".
+func parseReport(r io.Reader) (map[string]float64, error) {
+	report := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := coveredRe.FindStringSubmatch(line); m != nil {
+			pct, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad coverage in %q", line)
+			}
+			report[m[1]] = pct
+			continue
+		}
+		if m := noStmtRe.FindStringSubmatch(line); m != nil {
+			report[m[1]] = 100 // nothing to cover
+			continue
+		}
+		if m := noTestRe.FindStringSubmatch(line); m != nil {
+			report[m[1]] = -1
+		}
+	}
+	return report, sc.Err()
+}
+
+// check returns one failure line per floored package that is missing,
+// untested, or under its floor.
+func check(floors, report map[string]float64) []string {
+	var failures []string
+	for _, pkg := range sortedKeys(floors) {
+		floor := floors[pkg]
+		cov, ok := report[pkg]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: not in the coverage report (floor %.1f%%)", pkg, floor))
+		case cov < 0:
+			failures = append(failures, fmt.Sprintf("%s: has no test files (floor %.1f%%)", pkg, floor))
+		case cov < floor:
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% < floor %.1f%%", pkg, cov, floor))
+		}
+	}
+	return failures
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleReport = `ok  	cocoa/internal/mac	0.010s	coverage: 87.3% of statements
+ok  	cocoa/internal/sim	0.026s	coverage: 96.2% of statements
+?   	cocoa/internal/untested	[no test files]
+ok  	cocoa/internal/empty	0.001s	coverage: [no statements]
+--- some unrelated test noise
+FAIL	cocoa/internal/broken	0.1s
+`
+
+func TestParseReport(t *testing.T) {
+	report, err := parseReport(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"cocoa/internal/mac":      87.3,
+		"cocoa/internal/sim":      96.2,
+		"cocoa/internal/untested": -1,
+		"cocoa/internal/empty":    100,
+	}
+	if len(report) != len(want) {
+		t.Fatalf("parsed %d packages, want %d: %v", len(report), len(want), report)
+	}
+	for pkg, pct := range want {
+		if report[pkg] != pct {
+			t.Errorf("%s = %v, want %v", pkg, report[pkg], pct)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	report := map[string]float64{
+		"a": 90.0,
+		"b": 50.0,
+		"c": -1,
+	}
+	cases := []struct {
+		name     string
+		floors   map[string]float64
+		wantFail int
+	}{
+		{"all pass", map[string]float64{"a": 85}, 0},
+		{"below floor", map[string]float64{"a": 85, "b": 60}, 1},
+		{"no tests", map[string]float64{"c": 10}, 1},
+		{"missing package", map[string]float64{"ghost": 10}, 1},
+		{"exactly at floor", map[string]float64{"a": 90}, 0},
+		{"everything wrong", map[string]float64{"b": 60, "c": 10, "ghost": 10}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := check(tc.floors, report); len(got) != tc.wantFail {
+				t.Errorf("failures = %v, want %d", got, tc.wantFail)
+			}
+		})
+	}
+}
+
+func TestReadFloors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "floors.txt")
+	content := "# comment\n\ncocoa/internal/mac 85.0\ncocoa/internal/sim 90\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	floors, err := readFloors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floors["cocoa/internal/mac"] != 85.0 || floors["cocoa/internal/sim"] != 90.0 {
+		t.Errorf("floors = %v", floors)
+	}
+
+	for _, bad := range []string{"one-field-only\n", "pkg notanumber\n", "pkg 150\n"} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readFloors(path); err == nil {
+			t.Errorf("malformed floors %q accepted", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	floors := filepath.Join(dir, "floors.txt")
+	if err := os.WriteFile(floors, []byte("cocoa/internal/mac 85.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-floors", floors}, strings.NewReader(sampleReport), &out); err != nil {
+		t.Fatalf("gate failed on passing report: %v", err)
+	}
+	if !strings.Contains(out.String(), "87.3%") {
+		t.Errorf("output missing coverage line: %q", out.String())
+	}
+
+	if err := os.WriteFile(floors, []byte("cocoa/internal/mac 99.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-floors", floors}, strings.NewReader(sampleReport), &out)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Errorf("gate passed a report below floor: %v", err)
+	}
+
+	if err := run([]string{"-floors", filepath.Join(dir, "absent.txt")}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing floors file accepted")
+	}
+}

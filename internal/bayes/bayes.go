@@ -42,6 +42,20 @@ import (
 	"math"
 
 	"cocoa/internal/geom"
+	"cocoa/internal/telemetry"
+)
+
+// Telemetry instruments: beacon applications broken down by the density
+// mode the cell loop specialized to, plus the lazy-normalization outcome
+// (how many applies deferred the renorm vs forced one) and numerical
+// collapse resets.
+var (
+	telApplyNearest  = telemetry.Default.Counter("bayes.apply.nearest")
+	telApplyLerp     = telemetry.Default.Counter("bayes.apply.lerp")
+	telApplyGeneric  = telemetry.Default.Counter("bayes.apply.generic")
+	telRenormTaken   = telemetry.Default.Counter("bayes.renorm_taken")
+	telRenormDefer   = telemetry.Default.Counter("bayes.renorm_deferred")
+	telCollapseReset = telemetry.Default.Counter("bayes.collapse_resets")
 )
 
 // DistanceDensity is the consumer-side view of a calibrated distance PDF
@@ -333,9 +347,19 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 		}
 	}
 
+	switch {
+	case haveLUT && nearest:
+		telApplyNearest.Inc()
+	case haveLUT:
+		telApplyLerp.Inc()
+	default:
+		telApplyGeneric.Inc()
+	}
+
 	mass := g.mass - removed + added
 	if mass <= 0 || math.IsNaN(mass) || math.IsInf(mass, 0) {
 		// Numerical collapse: fall back to uniform rather than emit NaNs.
+		telCollapseReset.Inc()
 		g.Reset()
 		g.beacons = 1
 		return
@@ -343,7 +367,10 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 	g.mass = mass
 	g.beacons++
 	if mass > massRenormHigh || mass < massRenormLow {
+		telRenormTaken.Inc()
 		g.Renormalize()
+	} else {
+		telRenormDefer.Inc()
 	}
 }
 

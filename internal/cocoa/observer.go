@@ -95,6 +95,7 @@ func (t *Team) crashRobot(r *robot) {
 	}
 	r.crashed = true
 	t.crashes++
+	telCrashes.Inc()
 	r.nic.PowerOff()
 	t.emitSimple(EventCrash, r.id)
 }
@@ -107,6 +108,7 @@ func (t *Team) recoverRobot(r *robot) {
 		return
 	}
 	r.crashed = false
+	telRecoveries.Inc()
 	r.nic.Wake()
 	t.emitSimple(EventRecover, r.id)
 }

@@ -19,7 +19,35 @@ import (
 	"cocoa/internal/network"
 	"cocoa/internal/odometry"
 	"cocoa/internal/sim"
+	"cocoa/internal/telemetry"
 	"cocoa/internal/terrain"
+)
+
+// Telemetry instruments for the coordination layer: beacon traffic into
+// the localizers, the worker-pool flush shape, crash lifecycle, and a
+// virtual-clock span measuring each beacon window in *simulated* seconds.
+var (
+	telBeaconsSent    = telemetry.Default.Counter("cocoa.beacons_sent")
+	telBeaconsQueued  = telemetry.Default.Counter("cocoa.beacons_queued")
+	telBeaconsApplied = telemetry.Default.Counter("cocoa.beacons_applied")
+	telFixes          = telemetry.Default.Counter("cocoa.fixes")
+	telFixMisses      = telemetry.Default.Counter("cocoa.fix_misses")
+	telSyncs          = telemetry.Default.Counter("cocoa.syncs_received")
+	telCrashes        = telemetry.Default.Counter("cocoa.crashes")
+	telRecoveries     = telemetry.Default.Counter("cocoa.recoveries")
+	telFlushes        = telemetry.Default.Counter("cocoa.flushes")
+	// cocoa.flush_busy_robots is the number of robots with queued beacons
+	// at each flush point — the worker pool's fan-out width.
+	telFlushBusy = telemetry.Default.Histogram("cocoa.flush_busy_robots",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64})
+	// cocoa.beacon_queue_depth is the per-robot queue length drained by a
+	// flush.
+	telQueueDepth = telemetry.Default.Histogram("cocoa.beacon_queue_depth",
+		[]float64{0, 1, 2, 4, 8, 16, 32})
+	// cocoa.window_sim measures each beacon window in simulated time: with
+	// clock skew and crashes the *effective* window a run experienced is an
+	// observable, not a config echo.
+	telWindowSim = telemetry.Default.Span("cocoa.window_sim")
 )
 
 // Team is one assembled deployment, ready to run.
@@ -168,6 +196,7 @@ func NewTeam(cfg Config) (*Team, error) {
 			if sp, ok := d.Payload.(SyncPayload); ok {
 				r.scheduleKnown = true
 				r.syncsReceived++
+				telSyncs.Inc()
 				// Resynchronize the robot's timers to the Sync robot.
 				r.syncedThisPeriod = true
 				r.clockErr = 0
@@ -477,6 +506,7 @@ func (t *Team) sendBeacon(r *robot) {
 		payload.Secondary = true
 	}
 	if r.nic.Send(network.KindBeacon, network.BeaconBytes, payload) == nil {
+		telBeaconsSent.Inc()
 		t.emit(EventBeaconSent, r.id, payload.Pos, 0, 0)
 	}
 }
@@ -491,9 +521,12 @@ func (t *Team) flushBeaconQueues() {
 	var busy []*robot
 	for _, r := range t.robots {
 		if len(r.pending) > 0 {
+			telQueueDepth.ObserveInt(len(r.pending))
 			busy = append(busy, r)
 		}
 	}
+	telFlushes.Inc()
+	telFlushBusy.ObserveInt(len(busy))
 	workers := t.updateWorkers
 	if workers > len(busy) {
 		workers = len(busy)
@@ -527,6 +560,7 @@ func (t *Team) flushBeaconQueues() {
 func (t *Team) endWindow(w sim.Time) {
 	cfg := t.cfg
 	now := t.sim.Now()
+	telWindowSim.StartSim(float64(w)).EndSim(float64(now))
 	t.emitSimple(EventWindowEnd, -1)
 	// Apply the window's queued beacons before any localizer readout below.
 	t.flushBeaconQueues()

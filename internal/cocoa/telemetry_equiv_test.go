@@ -1,0 +1,73 @@
+package cocoa
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cocoa/internal/telemetry"
+)
+
+// Telemetry records, it never steers: enabling the registry must not
+// perturb a single bit of any Result, at any intra-run worker count.
+// (make check runs this under -race, which also exercises the shared
+// process-global instruments against concurrent grid workers.)
+func TestTelemetryOnOffByteIdentical(t *testing.T) {
+	wasEnabled := telemetry.Default.Enabled()
+	defer telemetry.Default.SetEnabled(wasEnabled)
+
+	resultJSON := func(workers int) []byte {
+		cfg := testConfig()
+		cfg.UpdateWorkers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		telemetry.Default.SetEnabled(false)
+		off := resultJSON(workers)
+		telemetry.Default.SetEnabled(true)
+		on := resultJSON(workers)
+		if string(off) != string(on) {
+			t.Errorf("UpdateWorkers=%d: Result differs with telemetry enabled", workers)
+		}
+	}
+}
+
+// A run with telemetry enabled must actually populate the stack's
+// instruments — the registry names the ISSUE pins across sim, mac, and
+// cocoa must move during a plain CoCoA run.
+func TestTelemetryCountersPopulated(t *testing.T) {
+	wasEnabled := telemetry.Default.Enabled()
+	defer telemetry.Default.SetEnabled(wasEnabled)
+	telemetry.Default.SetEnabled(true)
+
+	before := telemetry.Default.Snapshot()
+	if _, err := Run(testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	d := telemetry.Diff(before, telemetry.Default.Snapshot())
+	counters := map[string]int64{}
+	for _, c := range d.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"sim.events_dispatched",
+		"mac.sent",
+		"mac.delivered",
+		"network.delivered",
+		"cocoa.beacons_sent",
+		"cocoa.beacons_applied",
+		"cocoa.fixes",
+	} {
+		if counters[name] == 0 {
+			t.Errorf("counter %s = 0 after a run, want > 0", name)
+		}
+	}
+}

@@ -18,6 +18,15 @@ import (
 	"sort"
 
 	"cocoa/internal/sim"
+	"cocoa/internal/telemetry"
+)
+
+// Telemetry instruments: injected-fault activity by fault kind. The
+// network layer separately attributes fault drops to frame kinds; these
+// count what each fault *source* did.
+var (
+	telLossDrops = telemetry.Default.Counter("faults.drops.loss")
+	telOutliers  = telemetry.Default.Counter("faults.outliers")
 )
 
 // Config enables and parameterizes each fault source. The zero value
@@ -132,6 +141,7 @@ func NewLink(cfg Config, lossRng, outlierRng *sim.RNG, outlierKind int) *Link {
 func (l *Link) Incoming(kind int, rssiDBm float64) (float64, bool) {
 	if l.ge != nil && l.ge.Drop() {
 		l.drops++
+		telLossDrops.Inc()
 		return rssiDBm, true
 	}
 	if l.outlierProb > 0 && (l.outlierKind == 0 || kind == l.outlierKind) {
@@ -141,6 +151,7 @@ func (l *Link) Incoming(kind int, rssiDBm float64) (float64, bool) {
 				spike = -spike
 			}
 			l.outliers++
+			telOutliers.Inc()
 			return rssiDBm + spike, false
 		}
 	}

@@ -1,0 +1,115 @@
+package georouting
+
+import (
+	"testing"
+
+	"cocoa/internal/geom"
+)
+
+func TestNewGraphValidationTable(t *testing.T) {
+	two := []geom.Vec2{{X: 0}, {X: 10}}
+	cases := []struct {
+		name   string
+		truth  []geom.Vec2
+		belief []geom.Vec2
+		rangeM float64
+		ok     bool
+	}{
+		{"ok", two, two, 20, true},
+		{"length mismatch", two, two[:1], 20, false},
+		{"zero range", two, two, 0, false},
+		{"negative range", two, two, -5, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewGraph(tc.truth, tc.belief, tc.rangeM)
+			if (err == nil) != tc.ok {
+				t.Errorf("NewGraph err = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestBeliefAccessor(t *testing.T) {
+	truth := []geom.Vec2{{X: 0}, {X: 10}}
+	belief := []geom.Vec2{{X: 1, Y: 2}, {X: 9, Y: -1}}
+	g, err := NewGraph(truth, belief, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range belief {
+		if got := g.Belief(i); got != want {
+			t.Errorf("Belief(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// Both routers must reject out-of-range endpoints the same way.
+func TestRoutersRejectBadEndpoints(t *testing.T) {
+	pos := []geom.Vec2{{X: 0}, {X: 10}, {X: 20}}
+	g, err := NewGraph(pos, pos, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		src, dst int
+	}{
+		{"negative src", -1, 1},
+		{"src too large", 3, 1},
+		{"negative dst", 0, -1},
+		{"dst too large", 0, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := g.Greedy(tc.src, tc.dst); err == nil {
+				t.Error("Greedy accepted out-of-range endpoint")
+			}
+			if _, err := g.GFG(tc.src, tc.dst); err == nil {
+				t.Error("GFG accepted out-of-range endpoint")
+			}
+		})
+	}
+}
+
+// Routing to the current node is a zero-hop delivery for both routers.
+func TestRouteToSelf(t *testing.T) {
+	pos := []geom.Vec2{{X: 0}, {X: 10}}
+	g, err := NewGraph(pos, pos, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, route := range map[string]func(int, int) (Outcome, error){
+		"greedy": g.Greedy, "gfg": g.GFG,
+	} {
+		out, err := route(0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !out.Delivered || out.Hops != 0 {
+			t.Errorf("%s to self: %+v, want 0-hop delivery", name, out)
+		}
+	}
+}
+
+// A destination outside everyone's radio range is undeliverable: greedy
+// stops at a local minimum, GFG exhausts recovery — neither may loop
+// forever or report success.
+func TestUnreachableDestination(t *testing.T) {
+	pos := []geom.Vec2{{X: 0}, {X: 10}, {X: 1000}}
+	g, err := NewGraph(pos, pos, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, route := range map[string]func(int, int) (Outcome, error){
+		"greedy": g.Greedy, "gfg": g.GFG,
+	} {
+		out, err := route(0, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Delivered {
+			t.Errorf("%s delivered to an unreachable node: %+v", name, out)
+		}
+	}
+}

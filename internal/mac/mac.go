@@ -17,6 +17,26 @@ import (
 	"cocoa/internal/geom"
 	"cocoa/internal/radio"
 	"cocoa/internal/sim"
+	"cocoa/internal/telemetry"
+)
+
+// Telemetry instruments. These mirror (and extend) Stats process-wide:
+// Stats stays the per-run result surface, the telemetry counters aggregate
+// across every concurrent run for live observability.
+var (
+	telSent         = telemetry.Default.Counter("mac.sent")
+	telDelivered    = telemetry.Default.Counter("mac.delivered")
+	telCollided     = telemetry.Default.Counter("mac.collided")
+	telBelowSense   = telemetry.Default.Counter("mac.below_sense")
+	telMissedAsleep = telemetry.Default.Counter("mac.missed_asleep")
+	telDroppedBusy  = telemetry.Default.Counter("mac.dropped_busy")
+	telBackoffs     = telemetry.Default.Counter("mac.backoffs")
+	// mac.rssi_gate_skips counts receivers skipped by the squared-distance
+	// plausibility gate before any noise is drawn — the PR 3 fast path
+	// whose rate explains why dense deployments stay cheap.
+	telGateSkips  = telemetry.Default.Counter("mac.rssi_gate_skips")
+	telPoolHits   = telemetry.Default.Counter("mac.pool_hits")
+	telPoolMisses = telemetry.Default.Counter("mac.pool_misses")
 )
 
 // Frame is a broadcast MAC frame. Payload is opaque to the MAC.
@@ -265,9 +285,11 @@ func (m *Medium) attempt(st *station, f Frame, attempt, cw int) {
 	}
 	if attempt >= m.cfg.MaxAttempts {
 		m.stats.DroppedBusy++
+		telDroppedBusy.Inc()
 		return
 	}
 	m.stats.BackoffEvents++
+	telBackoffs.Inc()
 	backoff := sim.Time(m.rng.Intn(cw)+1) * m.cfg.SlotS
 	next := cw * 2
 	if next > m.cfg.MaxCW {
@@ -312,6 +334,7 @@ func (m *Medium) transmit(st *station, f Frame) {
 	tx.frame, tx.from, tx.start, tx.end, tx.pos = f, st, now, now+dur, st.ep.Position()
 	m.inflight = append(m.inflight, tx)
 	m.stats.Sent++
+	telSent.Inc()
 	m.stats.BytesOnAir += totalBytes
 	m.stats.AirtimeS += dur
 
@@ -339,11 +362,14 @@ func (m *Medium) beginReception(rcv *station, tx *transmission) {
 	d2 := rcv.ep.Position().Dist2(tx.pos)
 	if d2 >= m.plausFar2 {
 		m.stats.BelowSense++
+		telBelowSense.Inc()
+		telGateSkips.Inc()
 		return
 	}
 	d := math.Sqrt(d2)
 	if d2 > m.plausNear2 && m.cfg.Model.MaxPlausibleRSSI(d) < m.cfg.Model.SensitivityDBm {
 		m.stats.BelowSense++
+		telBelowSense.Inc()
 		return
 	}
 	rssi := m.cfg.Model.SampleRSSI(d, m.rng)
@@ -351,10 +377,12 @@ func (m *Medium) beginReception(rcv *station, tx *transmission) {
 	// meaningfully interfere; skip them entirely.
 	if rssi < m.cfg.Model.SensitivityDBm {
 		m.stats.BelowSense++
+		telBelowSense.Inc()
 		return
 	}
 	if !rcv.ep.Listening() {
 		m.stats.MissedAsleep++
+		telMissedAsleep.Inc()
 		return
 	}
 
@@ -388,11 +416,14 @@ func (m *Medium) finishReceptions(tx *transmission) {
 		switch {
 		case rec.corrupted:
 			m.stats.Collided++
+			telCollided.Inc()
 		case !rcv.ep.Listening():
 			// The radio went to sleep mid-frame.
 			m.stats.MissedAsleep++
+			telMissedAsleep.Inc()
 		default:
 			m.stats.Delivered++
+			telDelivered.Inc()
 			rcv.ep.Deliver(tx.frame, rec.rssi)
 		}
 		m.releaseReception(rec)
@@ -405,8 +436,10 @@ func (m *Medium) newReception() *reception {
 	if n := len(m.freeRec); n > 0 {
 		rec := m.freeRec[n-1]
 		m.freeRec = m.freeRec[:n-1]
+		telPoolHits.Inc()
 		return rec
 	}
+	telPoolMisses.Inc()
 	return &reception{}
 }
 
@@ -420,8 +453,10 @@ func (m *Medium) newTransmission() *transmission {
 	if n := len(m.freeTx); n > 0 {
 		tx := m.freeTx[n-1]
 		m.freeTx = m.freeTx[:n-1]
+		telPoolHits.Inc()
 		return tx
 	}
+	telPoolMisses.Inc()
 	return &transmission{}
 }
 

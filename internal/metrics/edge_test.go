@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantile must never panic: NaN p used to reach quantileSorted, where
+// int(math.Floor(NaN)) produced a wild negative index.
+func TestQuantileEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"empty any p", nil, 0.5, math.NaN()},
+		{"empty NaN p", nil, math.NaN(), math.NaN()},
+		{"singleton mid", []float64{7}, 0.5, 7},
+		{"singleton p=0", []float64{7}, 0, 7},
+		{"singleton p=1", []float64{7}, 1, 7},
+		{"singleton NaN p", []float64{7}, math.NaN(), math.NaN()},
+		{"NaN p multi", []float64{1, 2, 3}, math.NaN(), math.NaN()},
+		{"p below range clamps", []float64{1, 2, 3}, -0.5, 1},
+		{"p above range clamps", []float64{1, 2, 3}, 1.5, 3},
+		{"interpolates", []float64{0, 10}, 0.25, 2.5},
+		{"exact index", []float64{0, 10, 20}, 0.5, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewCDF(tc.xs).Quantile(tc.p)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("Quantile(%v) = %v, want NaN", tc.p, got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDownsampleEdges(t *testing.T) {
+	series := func(n int) *TimeSeries {
+		ts := &TimeSeries{}
+		for i := 0; i < n; i++ {
+			ts.Add(float64(i), float64(i)*10)
+		}
+		return ts
+	}
+	cases := []struct {
+		name      string
+		n, k      int
+		wantLen   int
+		wantFirst float64 // first value, when wantLen > 0
+	}{
+		{"empty k>1", 0, 3, 0, 0},
+		{"empty k<=1", 0, 0, 0, 0},
+		{"singleton k>1", 1, 5, 1, 0},
+		{"singleton copy", 1, 1, 1, 0},
+		{"negative k copies", 4, -2, 4, 0},
+		{"k larger than series", 3, 10, 1, 0},
+		{"every other", 4, 2, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := series(tc.n)
+			out := in.Downsample(tc.k)
+			if len(out.Times) != tc.wantLen || len(out.Values) != tc.wantLen {
+				t.Fatalf("Downsample(%d) kept %d/%d points, want %d",
+					tc.k, len(out.Times), len(out.Values), tc.wantLen)
+			}
+			if tc.wantLen > 0 && out.Values[0] != tc.wantFirst {
+				t.Errorf("first value = %v, want %v", out.Values[0], tc.wantFirst)
+			}
+			// Downsample returns an independent copy: mutating it must
+			// not write through to the source.
+			if tc.wantLen > 0 {
+				out.Values[0] = -1
+				if tc.n > 0 && in.Values[0] == -1 {
+					t.Error("Downsample aliases the source series")
+				}
+			}
+		})
+	}
+}

@@ -129,8 +129,10 @@ func (c *CDF) FractionBelow(x float64) float64 {
 }
 
 // Quantile returns the p-quantile (0 <= p <= 1) by linear interpolation.
+// Out-of-range p clamps to the extremes; a NaN p or an empty sample set
+// yields NaN rather than an index panic.
 func (c *CDF) Quantile(p float64) float64 {
-	if len(c.sorted) == 0 {
+	if len(c.sorted) == 0 || math.IsNaN(p) {
 		return math.NaN()
 	}
 	if p <= 0 {

@@ -14,6 +14,30 @@ import (
 	"cocoa/internal/geom"
 	"cocoa/internal/mac"
 	"cocoa/internal/sim"
+	"cocoa/internal/telemetry"
+)
+
+// Telemetry instruments: deliveries up the stack and fault-filter drops,
+// the latter broken down by frame kind so a lossy run shows *what* the
+// bursty channel ate (beacons vs SYNC vs unicast data).
+var (
+	telSent       = telemetry.Default.Counter("network.sent")
+	telDelivered  = telemetry.Default.Counter("network.delivered")
+	telSendErrs   = telemetry.Default.Counter("network.send_errors")
+	telFaultDrops = telemetry.Default.Counter("network.fault_drops")
+	// telDropsByKind is indexed by frame kind (KindBeacon..KindAck);
+	// index 0 catches unknown kinds.
+	telDropsByKind = [...]*telemetry.Counter{
+		telemetry.Default.Counter("network.fault_drops.other"),
+		telemetry.Default.Counter("network.fault_drops.beacon"),
+		telemetry.Default.Counter("network.fault_drops.join_query"),
+		telemetry.Default.Counter("network.fault_drops.join_reply"),
+		telemetry.Default.Counter("network.fault_drops.sync"),
+		telemetry.Default.Counter("network.fault_drops.data"),
+		telemetry.Default.Counter("network.fault_drops.hello"),
+		telemetry.Default.Counter("network.fault_drops.unicast"),
+		telemetry.Default.Counter("network.fault_drops.ack"),
+	}
 )
 
 // Frame kinds used across the CoCoA stack. They share one registry so the
@@ -162,9 +186,11 @@ func (n *NIC) setMode(m Mode) {
 func (n *NIC) Send(kind, payloadBytes int, payload any) error {
 	if n.mode != ModeAwake {
 		n.sendErrs++
+		telSendErrs.Inc()
 		return fmt.Errorf("nic %d: send while %v", n.id, n.mode)
 	}
 	n.sent++
+	telSent.Inc()
 	return n.med.Send(n.id, mac.Frame{Kind: kind, Bytes: payloadBytes, Payload: payload})
 }
 
@@ -215,11 +241,18 @@ func (n *NIC) Deliver(f mac.Frame, rssiDBm float64) {
 		rssi, drop := n.faults.Incoming(f.Kind, rssiDBm)
 		if drop {
 			n.faultDrops++
+			telFaultDrops.Inc()
+			k := f.Kind
+			if k < 0 || k >= len(telDropsByKind) {
+				k = 0
+			}
+			telDropsByKind[k].Inc()
 			return
 		}
 		rssiDBm = rssi
 	}
 	n.received++
+	telDelivered.Inc()
 	if h, ok := n.handlers[f.Kind]; ok {
 		h(f, rssiDBm)
 	}

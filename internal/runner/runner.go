@@ -27,9 +27,40 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cocoa/internal/cocoa"
+	"cocoa/internal/telemetry"
 )
+
+// Telemetry instruments: how long each job ran (wall clock), how long it
+// sat queued before a worker picked it up, and how many jobs are in
+// flight right now. Recording never influences scheduling, so parallel
+// fan-outs stay byte-identical with telemetry on or off.
+var (
+	telJobs      = telemetry.Default.Counter("runner.jobs")
+	telJobErrors = telemetry.Default.Counter("runner.job_errors")
+	telJobWall   = telemetry.Default.Span("runner.job_wall")
+	telQueueWait = telemetry.Default.Span("runner.queue_wait")
+	telInflight  = telemetry.Default.Gauge("runner.inflight")
+)
+
+// runJob wraps one job execution with the telemetry spans shared by the
+// serial and pooled paths. submitted is when the fan-out started — queue
+// wait is the time a job spent waiting for an execution slot.
+func runJob[T any](ctx context.Context, submitted time.Time, i int, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	telQueueWait.Observe(time.Since(submitted))
+	telJobs.Inc()
+	telInflight.Add(1)
+	tm := telJobWall.Start()
+	v, err := fn(ctx, i)
+	tm.End()
+	telInflight.Add(-1)
+	if err != nil {
+		telJobErrors.Inc()
+	}
+	return v, err
+}
 
 // Options configures one fan-out.
 type Options struct {
@@ -63,6 +94,7 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 	if n == 0 {
 		return out, nil
 	}
+	submitted := time.Now()
 	workers := opts.Parallelism
 	if workers > n {
 		workers = n
@@ -72,7 +104,7 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i)
+			v, err := runJob(ctx, submitted, i, fn)
 			if err != nil {
 				return nil, fmt.Errorf("runner: job %d: %w", i, err)
 			}
@@ -103,7 +135,7 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 				if i >= n || cctx.Err() != nil {
 					return
 				}
-				v, err := fn(cctx, i)
+				v, err := runJob(cctx, submitted, i, fn)
 				mu.Lock()
 				if err != nil {
 					if errIdx == -1 || i < errIdx {

@@ -12,6 +12,20 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+
+	"cocoa/internal/telemetry"
+)
+
+// Telemetry instruments (no-ops until the telemetry registry is enabled).
+// The engine only records — nothing here feeds back into scheduling — so
+// runs are byte-identical with telemetry on or off.
+var (
+	telScheduled = telemetry.Default.Counter("sim.events_scheduled")
+	telDispatch  = telemetry.Default.Counter("sim.events_dispatched")
+	telCanceled  = telemetry.Default.Counter("sim.events_canceled")
+	telChunks    = telemetry.Default.Counter("sim.arena_chunks")
+	telHeapDepth = telemetry.Default.Histogram("sim.heap_depth",
+		[]float64{0, 8, 64, 512, 4096, 32768})
 )
 
 // Time is a point in virtual time, in seconds since the simulation start.
@@ -135,12 +149,15 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	if s.arenaPos == len(s.arena) {
 		s.arena = make([]Event, arenaChunk)
 		s.arenaPos = 0
+		telChunks.Inc()
 	}
 	e := &s.arena[s.arenaPos]
 	s.arenaPos++
 	*e = Event{time: t, seq: s.seq, fn: fn, index: -1}
 	s.seq++
 	heap.Push(&s.queue, e)
+	telScheduled.Inc()
+	telHeapDepth.ObserveInt(len(s.queue))
 	return e
 }
 
@@ -155,6 +172,7 @@ func (s *Simulator) Cancel(e *Event) {
 	if e.index >= 0 {
 		heap.Remove(&s.queue, e.index)
 	}
+	telCanceled.Inc()
 }
 
 // Stop makes the current Run call return after the in-flight event
@@ -174,6 +192,7 @@ func (s *Simulator) Step() bool {
 		}
 		s.now = e.time
 		s.processed++
+		telDispatch.Inc()
 		e.canceled = true // mark fired so Cancel after firing is a no-op
 		fn := e.fn
 		e.fn = nil // let the GC reclaim the closure before the chunk dies
