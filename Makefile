@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test vet race fuzz check bench bench-smoke bench-json \
-	cover cover-check bench-compare clean
+	cover cover-check bench-compare serve-smoke clean
 
 all: build
 
@@ -36,14 +36,22 @@ cover:
 cover-check:
 	$(GO) test -cover ./... | $(GO) run ./cmd/covergate -floors coverage_floor.txt
 
+# serve-smoke boots the cocoad service on a loopback port, submits the
+# odometry golden family through the real HTTP API, and requires the
+# served result's summary to be byte-identical to the checked-in golden
+# file — the end-to-end proof that the service layer adds scheduling,
+# never semantics.
+serve-smoke:
+	$(GO) run ./cmd/cocoad -smoke internal/scenario/testdata/golden_odometry.json
+
 # check is the gate a change must pass before it lands: static analysis,
 # the full suite under the race detector (the experiment engine fans runs
 # out across goroutines, so -race is not optional here), a short fuzz pass
 # over the serialization/loss-channel/LUT targets, a one-iteration
 # benchmark smoke so bench-only code paths cannot rot between bench runs,
-# the per-package coverage floor gate, and the headline-benchmark
-# regression gate.
-check: vet race fuzz bench-smoke cover-check bench-compare
+# the per-package coverage floor gate, the cocoad end-to-end smoke, and
+# the headline-benchmark regression gate.
+check: vet race fuzz bench-smoke cover-check serve-smoke bench-compare
 
 # bench regenerates every paper figure at reduced scale, including the
 # serial-vs-parallel engine pair (BenchmarkReplication*).

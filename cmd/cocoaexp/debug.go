@@ -2,53 +2,21 @@ package main
 
 import (
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
-	"sync"
 
+	"cocoa/internal/serve"
 	"cocoa/internal/telemetry"
 )
 
-// publishOnce guards expvar registration: expvar.Publish panics on a
-// duplicate name, and tests call run() many times in one process.
-var publishOnce sync.Once
-
-// publishTelemetryVar exposes the process-global registry as the expvar
-// variable "telemetry", so /debug/vars serves a full snapshot alongside
-// the standard memstats/cmdline variables.
-func publishTelemetryVar() {
-	publishOnce.Do(func() {
-		expvar.Publish("telemetry", expvar.Func(func() any {
-			return telemetry.Default.Snapshot()
-		}))
-	})
-}
-
-// startDebugServer serves expvar under /debug/vars and the pprof suite
-// under /debug/pprof/ on its own mux (never http.DefaultServeMux, which
-// would leak handlers into importers). It returns the actual listen
-// address so ":0" works in tests. The server runs for the remaining
-// process lifetime; there is nothing to shut down cleanly mid-suite.
+// startDebugServer serves the shared diagnostics mux (expvar + pprof,
+// see internal/serve.DebugMux) on its own listener, returning the actual
+// listen address so ":0" works in tests. The server runs for the
+// remaining process lifetime; there is nothing to shut down cleanly
+// mid-suite.
 func startDebugServer(addr string) (string, error) {
-	publishTelemetryVar()
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("debug server: %w", err)
-	}
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln.Addr().String(), nil
+	return serve.StartDebugServer(addr)
 }
 
 // writeTelemetrySnapshot serializes the final registry state to path as

@@ -25,11 +25,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cocoa"
@@ -42,13 +45,18 @@ import (
 var stderr io.Writer = os.Stderr
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Interrupt or SIGTERM cancels the suite cooperatively: in-flight
+	// simulation runs observe the context and stop instead of being killed
+	// mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cocoaexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("cocoaexp", flag.ContinueOnError)
 	var (
 		fig       = fs.String("fig", "all", "which figure to regenerate: 1,4,5,6,7,8,9,10,ext,power,skew,terrain,reports,failures,faults,baseline,ablations or all")
@@ -125,7 +133,7 @@ func run(args []string, w io.Writer) error {
 		if telemetry.Default.Enabled() && *progress {
 			before = telemetry.Default.Snapshot()
 		}
-		res, err := d.Run(opts)
+		res, err := d.Run(ctx, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.Name, err)
 		}

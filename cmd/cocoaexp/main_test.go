@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestRunSingleFigureQuick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "9"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "9"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -27,7 +28,7 @@ func TestRunSingleFigureQuick(t *testing.T) {
 
 func TestRunFig1Quick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -38,7 +39,7 @@ func TestRunFig1Quick(t *testing.T) {
 
 func TestRunFig5Quick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "5"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "5"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "final gap") {
@@ -48,7 +49,7 @@ func TestRunFig5Quick(t *testing.T) {
 
 func TestRunAblationsQuick(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "ablations"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "ablations"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -61,14 +62,14 @@ func TestRunAblationsQuick(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &buf); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 }
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-quick", "-fig", "no-such-figure"}, &buf)
+	err := run(context.Background(), []string{"-quick", "-fig", "no-such-figure"}, &buf)
 	if err == nil {
 		t.Fatal("unknown -fig value accepted")
 	}
@@ -105,10 +106,10 @@ func TestRunOutputIdenticalAcrossParallelism(t *testing.T) {
 		d := d
 		t.Run(d.Name, func(t *testing.T) {
 			var serial, parallel bytes.Buffer
-			if err := run([]string{"-quick", "-fig", d.Name, "-parallel", "1"}, &serial); err != nil {
+			if err := run(context.Background(), []string{"-quick", "-fig", d.Name, "-parallel", "1"}, &serial); err != nil {
 				t.Fatal(err)
 			}
-			if err := run([]string{"-quick", "-fig", d.Name, "-parallel", "4"}, &parallel); err != nil {
+			if err := run(context.Background(), []string{"-quick", "-fig", d.Name, "-parallel", "4"}, &parallel); err != nil {
 				t.Fatal(err)
 			}
 			if got, want := trim(t, parallel.String()), trim(t, serial.String()); got != want {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,7 +33,7 @@ func TestTelemetryFlagWritesSnapshot(t *testing.T) {
 	resetTelemetry(t)
 	path := filepath.Join(t.TempDir(), "telem.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "rob-replication", "-telemetry", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "rob-replication", "-telemetry", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -64,7 +65,7 @@ func TestTelemetryFlagWritesSnapshot(t *testing.T) {
 func TestTelemetryFlagInvalidPath(t *testing.T) {
 	resetTelemetry(t)
 	var buf bytes.Buffer
-	err := run([]string{"-quick", "-fig", "1", "-telemetry", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")}, &buf)
+	err := run(context.Background(), []string{"-quick", "-fig", "1", "-telemetry", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")}, &buf)
 	if err == nil {
 		t.Fatal("unwritable -telemetry path accepted")
 	}
@@ -76,7 +77,7 @@ func TestSnapshotRegistryNamesStable(t *testing.T) {
 	resetTelemetry(t)
 	telemetry.Default.SetEnabled(true)
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "failures"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "failures"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	snap := telemetry.Default.Snapshot()
@@ -118,7 +119,7 @@ func TestTelemetryWithCPUProfile(t *testing.T) {
 	telem := filepath.Join(dir, "t.json")
 	prof := filepath.Join(dir, "cpu.pprof")
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "1", "-telemetry", telem, "-cpuprofile", prof}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "1", "-telemetry", telem, "-cpuprofile", prof}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{telem, prof} {
@@ -136,7 +137,7 @@ func TestDebugAddrServesExpvarAndPprof(t *testing.T) {
 	defer func() { stderr = oldStderr }()
 
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "1", "-debug-addr", "127.0.0.1:0"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "1", "-debug-addr", "127.0.0.1:0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	// The actual address is announced on stderr.
@@ -183,7 +184,7 @@ func TestDebugAddrServesExpvarAndPprof(t *testing.T) {
 func TestDebugAddrInvalid(t *testing.T) {
 	resetTelemetry(t)
 	var buf bytes.Buffer
-	if err := run([]string{"-quick", "-fig", "1", "-debug-addr", "256.0.0.1:bad"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-quick", "-fig", "1", "-debug-addr", "256.0.0.1:bad"}, &buf); err == nil {
 		t.Fatal("unusable -debug-addr accepted")
 	}
 }
@@ -204,7 +205,7 @@ func TestTelemetryDeltaTableDeterministic(t *testing.T) {
 		var buf bytes.Buffer
 		args := []string{"-quick", "-fig", "failures", "-progress",
 			"-telemetry", path, "-parallel", fmt.Sprint(parallel)}
-		if err := run(args, &buf); err != nil {
+		if err := run(context.Background(), args, &buf); err != nil {
 			t.Fatal(err)
 		}
 		// Keep only the delta table lines; run counters are interleaved

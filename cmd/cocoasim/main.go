@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +63,7 @@ func run(args []string, w io.Writer) error {
 		eventsFile  = fs.String("events", "", "also write a JSONL event log to this file")
 		robotsFile  = fs.String("robots-out", "", "also write the per-robot error matrix CSV to this file")
 		sampleEvery = fs.Int("every", 60, "series print cadence in samples (non-CSV)")
+		printConfig = fs.Bool("print-config", false, "print the assembled Config as JSON and exit (pipe into cocoad)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +103,12 @@ func run(args []string, w io.Writer) error {
 		cfg.Mode = cocoa.ModeCombined
 	default:
 		return fmt.Errorf("unknown mode %q (want odometry | rf | cocoa)", *mode)
+	}
+
+	if *printConfig {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cfg)
 	}
 
 	team, err := cocoa.NewTeam(cfg)

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
+
+	"cocoa"
 )
 
 // fastArgs shrinks a run so the CLI tests stay quick.
@@ -177,5 +180,24 @@ func TestRunRoughTerrain(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "mean error over time") {
 		t.Error("summary missing")
+	}
+}
+
+func TestRunPrintConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-print-config", "-T", "50", "-robots", "30", "-equipped", "15", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var cfg cocoa.Config
+	if err := json.Unmarshal(buf.Bytes(), &cfg); err != nil {
+		t.Fatalf("output is not a Config: %v", err)
+	}
+	if cfg.BeaconPeriodS != 50 || cfg.NumRobots != 30 || cfg.NumEquipped != 15 || cfg.Seed != 7 {
+		t.Errorf("flags not reflected: T=%v robots=%d equipped=%d seed=%d",
+			cfg.BeaconPeriodS, cfg.NumRobots, cfg.NumEquipped, cfg.Seed)
+	}
+	// The emitted config must be directly submittable: it validates as-is.
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("printed config does not validate: %v", err)
 	}
 }

@@ -22,6 +22,8 @@
 package cocoa
 
 import (
+	"context"
+
 	"cocoa/internal/caltable"
 	icocoa "cocoa/internal/cocoa"
 	"cocoa/internal/energy"
@@ -87,8 +89,42 @@ func DefaultConfig() Config { return icocoa.DefaultConfig() }
 // phase).
 func NewTeam(cfg Config) (*Team, error) { return icocoa.NewTeam(cfg) }
 
-// Run assembles and runs a deployment in one call.
+// Run assembles and runs a deployment in one call. It is RunContext with
+// context.Background(): use RunContext when the caller needs deadlines or
+// cancellation.
 func Run(cfg Config) (*Result, error) { return icocoa.Run(cfg) }
+
+// RunContext assembles and runs a deployment under ctx. Cancellation is
+// cooperative: the simulation observes ctx at every sampling tick, stops,
+// and returns ctx's error with a nil Result. The context only gates
+// execution — it never feeds the simulation's randomness or event order —
+// so a run that completes is byte-identical to Run(cfg) whether ctx
+// carried a live deadline or not. A nil ctx means context.Background().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return icocoa.RunContext(ctx, cfg)
+}
+
+// Config validation errors. Validate (and therefore NewTeam, Run,
+// RunContext) reports configuration problems as a *ConfigError wrapping
+// ErrInvalidConfig, so callers can branch with errors.Is and recover the
+// offending field with errors.As — an HTTP service maps them to 400s.
+var ErrInvalidConfig = icocoa.ErrInvalidConfig
+
+// ConfigError identifies the Config field that failed validation and why.
+type ConfigError = icocoa.ConfigError
+
+// Submit starts cfg on its own goroutine and returns a handle to the
+// eventual result: Done to select on, Result to wait, Cancel to abort the
+// simulation cooperatively. Submit is the asynchronous sibling of
+// RunContext for callers multiplexing many runs.
+func Submit(ctx context.Context, cfg Config) *RunHandle {
+	return runner.Go(ctx, func(jctx context.Context) (*Result, error) {
+		return icocoa.RunContext(jctx, cfg)
+	})
+}
+
+// RunHandle is one asynchronously executing simulation run.
+type RunHandle = runner.Handle[*Result]
 
 // Square returns a side x side deployment area anchored at the origin.
 func Square(side float64) Rect { return geom.Square(side) }
@@ -145,28 +181,76 @@ func ExperimentDeviceCounts() []int {
 }
 
 // RunFig1 regenerates Figure 1 (calibration PDFs).
-func RunFig1(opts ExperimentOptions) (*Fig1Result, error) { return scenario.RunFig1(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig1(opts ExperimentOptions) (*Fig1Result, error) {
+	return scenario.RunFig1(context.Background(), opts)
+}
 
 // RunFig4 regenerates Figure 4 (odometry-only error over time).
-func RunFig4(opts ExperimentOptions) ([]Series, error) { return scenario.RunFig4(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig4(opts ExperimentOptions) ([]Series, error) {
+	return scenario.RunFig4(context.Background(), opts)
+}
 
 // RunFig5 regenerates Figure 5 (true vs odometry-estimated path).
-func RunFig5(opts ExperimentOptions) (*Fig5Result, error) { return scenario.RunFig5(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig5(opts ExperimentOptions) (*Fig5Result, error) {
+	return scenario.RunFig5(context.Background(), opts)
+}
 
 // RunFig6 regenerates Figure 6 (RF-only error across beacon periods).
-func RunFig6(opts ExperimentOptions) ([]Series, error) { return scenario.RunFig6(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig6(opts ExperimentOptions) ([]Series, error) {
+	return scenario.RunFig6(context.Background(), opts)
+}
 
 // RunFig7 regenerates Figure 7 (CoCoA vs odometry-only vs RF-only).
-func RunFig7(opts ExperimentOptions) ([]Fig7Result, error) { return scenario.RunFig7(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig7(opts ExperimentOptions) ([]Fig7Result, error) {
+	return scenario.RunFig7(context.Background(), opts)
+}
 
 // RunFig8 regenerates Figure 8 (error CDFs at three instants).
-func RunFig8(opts ExperimentOptions) ([]CDFSnapshot, error) { return scenario.RunFig8(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig8(opts ExperimentOptions) ([]CDFSnapshot, error) {
+	return scenario.RunFig8(context.Background(), opts)
+}
 
 // RunFig9 regenerates Figure 9 (beacon-period impact on error and energy).
-func RunFig9(opts ExperimentOptions) ([]Fig9Row, error) { return scenario.RunFig9(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig9(opts ExperimentOptions) ([]Fig9Row, error) {
+	return scenario.RunFig9(context.Background(), opts)
+}
 
 // RunFig10 regenerates Figure 10 (impact of the number of devices).
-func RunFig10(opts ExperimentOptions) ([]Fig10Row, error) { return scenario.RunFig10(opts) }
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunFig10(opts ExperimentOptions) ([]Fig10Row, error) {
+	return scenario.RunFig10(context.Background(), opts)
+}
 
 // SteadyStateMean averages a curve past the warm-up prefix.
 func SteadyStateMean(s Series, warmupS float64) float64 {
@@ -187,23 +271,39 @@ type (
 
 // RunExtensionSecondary evaluates the paper's future-work idea of letting
 // localized unequipped robots beacon too.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunExtensionSecondary(opts ExperimentOptions) ([]ExtensionRow, error) {
-	return scenario.RunExtensionSecondary(opts)
+	return scenario.RunExtensionSecondary(context.Background(), opts)
 }
 
 // RunAblationPruning compares MRMM mesh pruning against plain ODMRP.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunAblationPruning(opts ExperimentOptions) ([]AblationPruningRow, error) {
-	return scenario.RunAblationPruning(opts)
+	return scenario.RunAblationPruning(context.Background(), opts)
 }
 
 // RunAblationK sweeps the per-window beacon redundancy k.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunAblationK(opts ExperimentOptions) ([]AblationKRow, error) {
-	return scenario.RunAblationK(opts)
+	return scenario.RunAblationK(context.Background(), opts)
 }
 
 // RunAblationGrid sweeps the Bayesian grid resolution.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunAblationGrid(opts ExperimentOptions) ([]AblationGridRow, error) {
-	return scenario.RunAblationGrid(opts)
+	return scenario.RunAblationGrid(context.Background(), opts)
 }
 
 // Extension studies beyond the paper's evaluation (each grounded in its
@@ -229,20 +329,32 @@ type LocalizerKind = icocoa.LocalizerKind
 
 // RunAblationLocalizer compares the paper's grid estimator with Monte
 // Carlo localization on the same deployment.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunAblationLocalizer(opts ExperimentOptions) ([]AblationLocalizerRow, error) {
-	return scenario.RunAblationLocalizer(opts)
+	return scenario.RunAblationLocalizer(context.Background(), opts)
 }
 
 // RunExtensionPowerControl sweeps beacon transmit power (the paper's
 // future-work question on cooperation distance).
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunExtensionPowerControl(opts ExperimentOptions) ([]PowerControlRow, error) {
-	return scenario.RunExtensionPowerControl(opts)
+	return scenario.RunExtensionPowerControl(context.Background(), opts)
 }
 
 // RunExtensionClockSkew sweeps per-period clock drift with and without
 // SYNC dissemination.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunExtensionClockSkew(opts ExperimentOptions) ([]ClockSkewRow, error) {
-	return scenario.RunExtensionClockSkew(opts)
+	return scenario.RunExtensionClockSkew(context.Background(), opts)
 }
 
 // Geographic routing over robot positions — the application the paper's
@@ -267,8 +379,12 @@ type BaselineRow = scenario.BaselineRow
 
 // RunBaselineCoopPos compares CoCoA with the Cooperative Positioning
 // baseline (Kurazume et al., related work Section 5) and odometry-only.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunBaselineCoopPos(opts ExperimentOptions) ([]BaselineRow, error) {
-	return scenario.RunBaselineCoopPos(opts)
+	return scenario.RunBaselineCoopPos(context.Background(), opts)
 }
 
 // Observability: event hooks and types (serialized by internal/eventlog
@@ -325,20 +441,32 @@ func BurstyLoss(lossRate, meanBurstFrames float64) GEConfig {
 // RunFaultSweep crosses burst-loss rates with crash fractions and reports
 // the graceful-degradation surface (mean error and uncovered-robot
 // fraction vs fault intensity).
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunFaultSweep(opts ExperimentOptions) ([]FaultRow, error) {
-	return scenario.RunFaultSweep(opts)
+	return scenario.RunFaultSweep(context.Background(), opts)
 }
 
 // RunFailureInjection kills equipped robots mid-run and measures CoCoA's
 // graceful degradation.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunFailureInjection(opts ExperimentOptions) ([]FailureRow, error) {
-	return scenario.RunFailureInjection(opts)
+	return scenario.RunFailureInjection(context.Background(), opts)
 }
 
 // RunReplication repeats the default deployment across seeds and reports
 // the cross-seed spread of the mean localization error.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunReplication(opts ExperimentOptions, seeds int) (Replication, error) {
-	return scenario.RunReplication(opts, seeds)
+	return scenario.RunReplication(context.Background(), opts, seeds)
 }
 
 // ReportingRow measures the controller-reporting data path.
@@ -346,8 +474,12 @@ type ReportingRow = scenario.ReportingRow
 
 // RunExtensionReporting exercises greedy geographic unicast of status
 // reports to the Sync robot over CoCoA coordinates.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunExtensionReporting(opts ExperimentOptions) ([]ReportingRow, error) {
-	return scenario.RunExtensionReporting(opts)
+	return scenario.RunExtensionReporting(context.Background(), opts)
 }
 
 // TerrainRow compares smooth and rough ground for one localization mode.
@@ -355,6 +487,10 @@ type TerrainRow = scenario.TerrainRow
 
 // RunExtensionTerrain quantifies the introduction's uneven-surfaces
 // concern: rough ground degrades odometry, CoCoA's RF fixes neutralize it.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
 func RunExtensionTerrain(opts ExperimentOptions) ([]TerrainRow, error) {
-	return scenario.RunExtensionTerrain(opts)
+	return scenario.RunExtensionTerrain(context.Background(), opts)
 }

@@ -1,7 +1,10 @@
 package cocoa_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"cocoa"
 )
@@ -31,6 +34,60 @@ func Example() {
 	// fixes happened: true
 	// steady error below 30 m: true
 	// coordination saves energy: true
+}
+
+// ExampleRunContext runs a deployment under a deadline. The context only
+// gates execution — a run that completes is byte-identical to Run — while
+// an expired deadline stops the simulation cooperatively.
+func ExampleRunContext() {
+	cfg := cocoa.DefaultConfig()
+	cfg.NumRobots = 10
+	cfg.NumEquipped = 5
+	cfg.DurationS = 120
+	cfg.GridCellM = 8
+	cfg.Calibration.Samples = 40000
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := cocoa.RunContext(ctx, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", len(res.Times) > 0)
+
+	// An invalid configuration reports which field failed, wrapped under
+	// ErrInvalidConfig for errors.Is/As dispatch.
+	bad := cfg
+	bad.NumRobots = 0
+	_, err = cocoa.RunContext(ctx, bad)
+	var ce *cocoa.ConfigError
+	fmt.Println("invalid:", errors.Is(err, cocoa.ErrInvalidConfig), "field:", errors.As(err, &ce) && ce.Field == "NumRobots")
+	// Output:
+	// completed: true
+	// invalid: true field: true
+}
+
+// ExampleExperiments dispatches an experiment through the registry — the
+// uniform, context-aware path that replaces the per-figure free functions.
+func ExampleExperiments() {
+	for _, d := range cocoa.Experiments() {
+		if d.Name != "fig9" {
+			continue
+		}
+		v, err := d.Run(context.Background(), cocoa.ExperimentOptions{
+			Seed: 1, DurationS: 120, NumRobots: 10,
+			CalibrationSamples: 40000, GridCellM: 8,
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		rows := v.([]cocoa.Fig9Row)
+		fmt.Println("periods swept:", len(rows))
+	}
+	// Output:
+	// periods swept: 4
 }
 
 // ExampleRunFig9 regenerates the paper's Figure 9 at a reduced scale and

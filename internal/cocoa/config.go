@@ -16,6 +16,7 @@
 package cocoa
 
 import (
+	"errors"
 	"fmt"
 
 	"cocoa/internal/caltable"
@@ -227,68 +228,99 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports whether the configuration is usable.
+// ErrInvalidConfig is the sentinel every configuration-validation failure
+// wraps: errors.Is(err, ErrInvalidConfig) classifies an error as a caller
+// mistake (an HTTP 400, not a 500) without string matching. The concrete
+// detail travels in the *ConfigError it is wrapped by.
+var ErrInvalidConfig = errors.New("cocoa: invalid config")
+
+// ConfigError reports which Config field failed validation and why. It
+// wraps ErrInvalidConfig, so both errors.Is(err, ErrInvalidConfig) and
+// errors.As(err, &cfgErr) work on anything Validate returns.
+type ConfigError struct {
+	// Field is the offending Config field, e.g. "NumRobots" or
+	// "Radio" for a substrate model that failed its own validation.
+	Field string
+	// Reason is the human-readable explanation.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("cocoa: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap ties every ConfigError to the ErrInvalidConfig sentinel.
+func (e *ConfigError) Unwrap() error { return ErrInvalidConfig }
+
+// configErrorf builds a *ConfigError with a formatted reason.
+func configErrorf(field, format string, args ...any) *ConfigError {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate reports whether the configuration is usable. Every failure is a
+// *ConfigError wrapping ErrInvalidConfig.
 func (c Config) Validate() error {
 	switch {
 	case c.NumRobots <= 0:
-		return fmt.Errorf("cocoa: NumRobots must be positive")
+		return configErrorf("NumRobots", "must be positive")
 	case c.NumEquipped < 0 || c.NumEquipped > c.NumRobots:
-		return fmt.Errorf("cocoa: NumEquipped %d out of [0, %d]", c.NumEquipped, c.NumRobots)
+		return configErrorf("NumEquipped", "%d out of [0, %d]", c.NumEquipped, c.NumRobots)
 	case c.Mode != ModeOdometryOnly && c.NumEquipped == 0:
-		return fmt.Errorf("cocoa: RF localization needs at least one equipped robot")
+		return configErrorf("NumEquipped", "RF localization needs at least one equipped robot")
 	case c.Mode != ModeOdometryOnly && c.NumEquipped == c.NumRobots:
-		return fmt.Errorf("cocoa: RF localization needs at least one unequipped robot to localize")
+		return configErrorf("NumEquipped", "RF localization needs at least one unequipped robot to localize")
 	case c.Area.Width() <= 0 || c.Area.Height() <= 0:
-		return fmt.Errorf("cocoa: degenerate area")
+		return configErrorf("Area", "degenerate area")
 	case c.VMax <= 0.1:
-		return fmt.Errorf("cocoa: VMax %v must exceed the paper's 0.1 m/s floor", c.VMax)
+		return configErrorf("VMax", "%v must exceed the paper's 0.1 m/s floor", c.VMax)
 	case c.BeaconPeriodS <= 0:
-		return fmt.Errorf("cocoa: BeaconPeriodS must be positive")
+		return configErrorf("BeaconPeriodS", "must be positive")
 	case c.TransmitPeriodS <= 0 || c.TransmitPeriodS >= c.BeaconPeriodS:
-		return fmt.Errorf("cocoa: TransmitPeriodS must be in (0, T)")
+		return configErrorf("TransmitPeriodS", "must be in (0, T)")
 	case c.BeaconsPerWindow <= 0:
-		return fmt.Errorf("cocoa: BeaconsPerWindow must be positive")
+		return configErrorf("BeaconsPerWindow", "must be positive")
 	case c.GridCellM <= 0:
-		return fmt.Errorf("cocoa: GridCellM must be positive")
+		return configErrorf("GridCellM", "must be positive")
 	case c.Localizer != 0 && (c.Localizer < LocalizerGrid || c.Localizer > LocalizerEKF):
-		return fmt.Errorf("cocoa: invalid localizer %d", int(c.Localizer))
+		return configErrorf("Localizer", "invalid localizer %d", int(c.Localizer))
 	case c.Localizer == LocalizerParticle && c.Particles <= 0:
-		return fmt.Errorf("cocoa: Particles must be positive for the particle backend")
+		return configErrorf("Particles", "must be positive for the particle backend")
 	case c.Mode < ModeOdometryOnly || c.Mode > ModeCombined:
-		return fmt.Errorf("cocoa: invalid mode %d", int(c.Mode))
+		return configErrorf("Mode", "invalid mode %d", int(c.Mode))
 	case c.DurationS <= 0:
-		return fmt.Errorf("cocoa: DurationS must be positive")
+		return configErrorf("DurationS", "must be positive")
 	case c.SampleIntervalS <= 0:
-		return fmt.Errorf("cocoa: SampleIntervalS must be positive")
+		return configErrorf("SampleIntervalS", "must be positive")
 	case c.ClockDriftSigmaS < 0:
-		return fmt.Errorf("cocoa: negative clock drift")
+		return configErrorf("ClockDriftSigmaS", "negative clock drift")
 	case c.FailEquippedCount < 0 || c.FailEquippedCount >= c.NumEquipped && c.FailEquippedCount > 0:
-		return fmt.Errorf("cocoa: FailEquippedCount %d must leave the Sync robot alive", c.FailEquippedCount)
+		return configErrorf("FailEquippedCount", "%d must leave the Sync robot alive", c.FailEquippedCount)
 	case c.FailAtS < 0:
-		return fmt.Errorf("cocoa: negative FailAtS")
+		return configErrorf("FailAtS", "negative FailAtS")
 	case c.TerrainAmplitude < 0:
-		return fmt.Errorf("cocoa: negative TerrainAmplitude")
+		return configErrorf("TerrainAmplitude", "negative TerrainAmplitude")
 	case c.TerrainAmplitude > 0 && c.TerrainCellM <= 0:
-		return fmt.Errorf("cocoa: TerrainCellM must be positive with terrain enabled")
+		return configErrorf("TerrainCellM", "must be positive with terrain enabled")
 	case c.UpdateWorkers < 0:
-		return fmt.Errorf("cocoa: negative UpdateWorkers")
+		return configErrorf("UpdateWorkers", "negative UpdateWorkers")
 	}
 	if err := c.Radio.Validate(); err != nil {
-		return err
+		return &ConfigError{Field: "Radio", Reason: err.Error()}
 	}
 	if err := c.Energy.Validate(); err != nil {
-		return err
+		return &ConfigError{Field: "Energy", Reason: err.Error()}
 	}
 	if err := c.Odometry.Validate(); err != nil {
-		return err
+		return &ConfigError{Field: "Odometry", Reason: err.Error()}
 	}
 	if c.Mode != ModeOdometryOnly {
 		if err := c.Calibration.Validate(); err != nil {
-			return err
+			return &ConfigError{Field: "Calibration", Reason: err.Error()}
 		}
 	}
 	if err := c.Faults.Validate(); err != nil {
-		return err
+		return &ConfigError{Field: "Faults", Reason: err.Error()}
 	}
 	return nil
 }

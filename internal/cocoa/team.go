@@ -1,6 +1,7 @@
 package cocoa
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -294,12 +295,31 @@ func (t *Team) lookupPDF(rssiDBm float64) (bayes.DistanceDensity, bool) {
 func (t *Team) Table() *caltable.Table { return t.table }
 
 // Run executes the deployment and collects the result. A team can run only
-// once.
+// once. Run is RunContext with a background context.
 func (t *Team) Run() (*Result, error) {
+	return t.RunContext(context.Background())
+}
+
+// RunContext executes the deployment under ctx and collects the result. A
+// team can run only once.
+//
+// Cancellation is observed cooperatively at every metric-sampling tick (one
+// simulated SampleIntervalS, microseconds of wall time): the event loop
+// stops and ctx.Err() is returned, discarding the partial run. The check
+// reads ctx without touching the event calendar or any RNG stream, so a run
+// that is never canceled is byte-identical to one executed without a
+// context — the service path and the direct path produce the same Result.
+func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 	if t.ran {
 		return nil, fmt.Errorf("cocoa: team already ran")
 	}
 	t.ran = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := t.cfg
 
 	res := newResult(cfg, t.trackedIDs())
@@ -328,14 +348,25 @@ func (t *Team) Run() (*Result, error) {
 		}
 	}
 
-	// Metric sampling and odometry stepping, once per sample interval.
+	// Metric sampling and odometry stepping, once per sample interval. The
+	// same tick doubles as the cancellation point: checking ctx here adds
+	// no events and consumes no randomness, so an uncanceled run cannot
+	// diverge from a context-free one.
+	done := ctx.Done()
 	dt := float64(cfg.SampleIntervalS)
 	t.sim.EachTick(cfg.SampleIntervalS, cfg.SampleIntervalS, func(now sim.Time) {
+		if done != nil && ctx.Err() != nil {
+			t.sim.Stop()
+			return
+		}
 		t.stepRobots(now, dt)
 		t.sample(res, now)
 	})
 
 	t.sim.RunUntil(cfg.DurationS)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t.finish(res)
 	return res, nil
 }
@@ -673,10 +704,24 @@ func (t *Team) finish(res *Result) {
 }
 
 // Run is the package-level convenience: assemble and run in one call.
+// It is RunContext with a background context.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext assembles and runs a deployment in one call under ctx.
+// Cancellation and deadlines are observed between the assembly phase and
+// the run, and cooperatively at every sampling tick inside the run.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	team, err := NewTeam(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return team.Run()
+	return team.RunContext(ctx)
 }

@@ -165,12 +165,13 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 	return out, nil
 }
 
-// Runs executes every configuration through cocoa.Run on the pool and
-// returns the results in configuration order. Each run is fully
+// Runs executes every configuration through cocoa.RunContext on the pool
+// and returns the results in configuration order. Each run is fully
 // deterministic in its Config (including Seed), so the output is identical
-// at any parallelism level.
+// at any parallelism level; the per-job context lets a canceled sweep abort
+// in-flight simulations instead of letting them run to completion.
 func Runs(ctx context.Context, opts Options, cfgs []cocoa.Config) ([]*cocoa.Result, error) {
-	return Map(ctx, opts, len(cfgs), func(_ context.Context, i int) (*cocoa.Result, error) {
-		return cocoa.Run(cfgs[i])
+	return Map(ctx, opts, len(cfgs), func(jctx context.Context, i int) (*cocoa.Result, error) {
+		return cocoa.RunContext(jctx, cfgs[i])
 	})
 }

@@ -25,14 +25,14 @@ type BaselineRow struct {
 // odometry-only floor, all at the same team size and duration. The three
 // systems are independent simulations, so they run as one fan-out on the
 // experiment engine — heterogeneous jobs each producing a finished row.
-func RunBaselineCoopPos(opts Options) ([]BaselineRow, error) {
+func RunBaselineCoopPos(ctx context.Context, opts Options) ([]BaselineRow, error) {
 	// CoCoA, the paper's default setup; the other systems mirror its scale.
 	cocoaCfg := cocoa.DefaultConfig()
 	opts.apply(&cocoaCfg)
 
-	jobs := []func() (BaselineRow, error){
-		func() (BaselineRow, error) {
-			res, err := cocoa.Run(cocoaCfg)
+	jobs := []func(context.Context) (BaselineRow, error){
+		func(jctx context.Context) (BaselineRow, error) {
+			res, err := cocoa.RunContext(jctx, cocoaCfg)
 			if err != nil {
 				return BaselineRow{}, err
 			}
@@ -44,7 +44,7 @@ func RunBaselineCoopPos(opts Options) ([]BaselineRow, error) {
 				EquippedRobots:  cocoaCfg.NumEquipped,
 			}, nil
 		},
-		func() (BaselineRow, error) {
+		func(jctx context.Context) (BaselineRow, error) {
 			// Cooperative Positioning: no localization devices at all; half
 			// the team is parked as landmarks at any instant.
 			cpCfg := coopos.DefaultConfig()
@@ -66,12 +66,12 @@ func RunBaselineCoopPos(opts Options) ([]BaselineRow, error) {
 				EquippedRobots:  0,
 			}, nil
 		},
-		func() (BaselineRow, error) {
+		func(jctx context.Context) (BaselineRow, error) {
 			// Odometry-only floor.
 			odoCfg := cocoa.DefaultConfig()
 			odoCfg.Mode = cocoa.ModeOdometryOnly
 			opts.apply(&odoCfg)
-			res, err := cocoa.Run(odoCfg)
+			res, err := cocoa.RunContext(jctx, odoCfg)
 			if err != nil {
 				return BaselineRow{}, err
 			}
@@ -85,10 +85,10 @@ func RunBaselineCoopPos(opts Options) ([]BaselineRow, error) {
 		},
 	}
 
-	return runner.Map(context.Background(), runner.Options{
+	return runner.Map(ctx, runner.Options{
 		Parallelism: opts.Parallelism,
 		Progress:    opts.Progress,
-	}, len(jobs), func(_ context.Context, i int) (BaselineRow, error) {
-		return jobs[i]()
+	}, len(jobs), func(jctx context.Context, i int) (BaselineRow, error) {
+		return jobs[i](jctx)
 	})
 }

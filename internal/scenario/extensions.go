@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+
 	"cocoa/internal/cocoa"
 )
 
@@ -14,7 +16,7 @@ type AblationLocalizerRow struct {
 
 // RunAblationLocalizer runs the same deployment with the paper's grid
 // estimator, with Monte Carlo localization, and with an EKF.
-func RunAblationLocalizer(opts Options) ([]AblationLocalizerRow, error) {
+func RunAblationLocalizer(ctx context.Context, opts Options) ([]AblationLocalizerRow, error) {
 	kinds := []cocoa.LocalizerKind{cocoa.LocalizerGrid, cocoa.LocalizerParticle, cocoa.LocalizerEKF}
 	cfgs := make([]cocoa.Config, len(kinds))
 	for i, kind := range kinds {
@@ -23,7 +25,7 @@ func RunAblationLocalizer(opts Options) ([]AblationLocalizerRow, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +55,7 @@ type PowerControlRow struct {
 // RunExtensionPowerControl sweeps the beacon transmit power in a
 // coverage-limited deployment (few equipped robots), where range directly
 // controls how many robots can cooperate.
-func RunExtensionPowerControl(opts Options) ([]PowerControlRow, error) {
+func RunExtensionPowerControl(ctx context.Context, opts Options) ([]PowerControlRow, error) {
 	powers := []float64{9, 12, 15, 18}
 	cfgs := make([]cocoa.Config, len(powers))
 	for i, tx := range powers {
@@ -69,7 +71,7 @@ func RunExtensionPowerControl(opts Options) ([]PowerControlRow, error) {
 		}
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +103,7 @@ type ClockSkewRow struct {
 // SYNC dissemination. Without SYNC the robots rely on a preprogrammed
 // schedule, so their windows slide off the Sync robot's time base and
 // beacons land on sleeping radios.
-func RunExtensionClockSkew(opts Options) ([]ClockSkewRow, error) {
+func RunExtensionClockSkew(ctx context.Context, opts Options) ([]ClockSkewRow, error) {
 	type point struct {
 		drift  float64
 		syncOn bool
@@ -120,7 +122,7 @@ func RunExtensionClockSkew(opts Options) ([]ClockSkewRow, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +153,7 @@ type ReportingRow struct {
 // RunExtensionReporting exercises the paper-conclusion application: with
 // EnableReporting on, every localized unequipped robot sends one report
 // per window toward the Sync robot by greedy geographic forwarding.
-func RunExtensionReporting(opts Options) ([]ReportingRow, error) {
+func RunExtensionReporting(ctx context.Context, opts Options) ([]ReportingRow, error) {
 	periods := []float64{50, 100}
 	cfgs := make([]cocoa.Config, len(periods))
 	for i, T := range periods {
@@ -161,7 +163,7 @@ func RunExtensionReporting(opts Options) ([]ReportingRow, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,12 @@
 package scenario
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationLocalizer(t *testing.T) {
-	rows, err := RunAblationLocalizer(fastOpts())
+	rows, err := RunAblationLocalizer(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +30,7 @@ func TestAblationLocalizer(t *testing.T) {
 }
 
 func TestExtensionPowerControl(t *testing.T) {
-	rows, err := RunExtensionPowerControl(fastOpts())
+	rows, err := RunExtensionPowerControl(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +51,7 @@ func TestExtensionPowerControl(t *testing.T) {
 }
 
 func TestExtensionClockSkew(t *testing.T) {
-	rows, err := RunExtensionClockSkew(fastOpts())
+	rows, err := RunExtensionClockSkew(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +76,7 @@ func TestExtensionClockSkew(t *testing.T) {
 }
 
 func TestBaselineCoopPos(t *testing.T) {
-	rows, err := RunBaselineCoopPos(fastOpts())
+	rows, err := RunBaselineCoopPos(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +100,7 @@ func TestBaselineCoopPos(t *testing.T) {
 }
 
 func TestFailureInjection(t *testing.T) {
-	rows, err := RunFailureInjection(fastOpts())
+	rows, err := RunFailureInjection(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +125,7 @@ func TestFailureInjection(t *testing.T) {
 }
 
 func TestReplication(t *testing.T) {
-	rep, err := RunReplication(fastOpts(), 3)
+	rep, err := RunReplication(context.Background(), fastOpts(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +146,7 @@ func TestReplication(t *testing.T) {
 func TestReplicationDefaultSeeds(t *testing.T) {
 	opts := fastOpts()
 	opts.DurationS = 60
-	rep, err := RunReplication(opts, 0)
+	rep, err := RunReplication(context.Background(), opts, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +156,7 @@ func TestReplicationDefaultSeeds(t *testing.T) {
 }
 
 func TestExtensionReporting(t *testing.T) {
-	rows, err := RunExtensionReporting(fastOpts())
+	rows, err := RunExtensionReporting(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +176,7 @@ func TestExtensionReporting(t *testing.T) {
 func TestExtensionTerrain(t *testing.T) {
 	opts := fastOpts()
 	opts.DurationS = 400
-	rows, err := RunExtensionTerrain(opts)
+	rows, err := RunExtensionTerrain(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

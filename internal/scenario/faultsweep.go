@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+
 	"cocoa/internal/cocoa"
 	"cocoa/internal/faults"
 )
@@ -34,7 +36,7 @@ type FaultRow struct {
 // default CoCoA deployment. Crashed robots stay down for about two beacon
 // periods (exponentially distributed), so they miss windows and rejoin —
 // the recovery path is exercised, not just the outage.
-func RunFaultSweep(opts Options) ([]FaultRow, error) {
+func RunFaultSweep(ctx context.Context, opts Options) ([]FaultRow, error) {
 	type cell struct{ loss, crash float64 }
 	var cells []cell
 	for _, crash := range FaultCrashFractions {
@@ -51,7 +53,7 @@ func RunFaultSweep(opts Options) ([]FaultRow, error) {
 		cfg.Faults.CrashMeanDownS = 2 * float64(cfg.BeaconPeriodS)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}

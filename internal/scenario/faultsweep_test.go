@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestFaultSweepShape(t *testing.T) {
-	rows, err := RunFaultSweep(fastOpts())
+	rows, err := RunFaultSweep(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestFaultSweepShape(t *testing.T) {
 // scaled config: the fault layer is strictly opt-in.
 func TestFaultSweepCleanCellMatchesPlainRun(t *testing.T) {
 	opts := fastOpts()
-	rows, err := RunFaultSweep(opts)
+	rows, err := RunFaultSweep(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestFaultSweepCleanCellMatchesPlainRun(t *testing.T) {
 // severest cell, degradation is monotone — more faults never help. Runs
 // are pure functions of (config, seed), so exact comparisons are stable.
 func TestFaultSweepMonotoneDegradation(t *testing.T) {
-	rows, err := RunFaultSweep(fastOpts())
+	rows, err := RunFaultSweep(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +117,11 @@ func TestFaultSweepDeterministicAcrossParallelism(t *testing.T) {
 	parallel := fastOpts()
 	parallel.Parallelism = 4
 
-	s, err := RunFaultSweep(serial)
+	s, err := RunFaultSweep(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := RunFaultSweep(parallel)
+	p, err := RunFaultSweep(context.Background(), parallel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"cocoa/internal/cocoa"
-	"cocoa/internal/faults"
 )
 
 // The golden mini-suite pins one quick-scale replication per figure
@@ -21,107 +20,14 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files in testdata/")
 
-// goldenSummary is the pinned subset of cocoa.Result: the headline
-// metrics each figure family reports, plus protocol counters sensitive
-// to ordering bugs. Floats are stored at full precision — the runs are
-// bit-deterministic, so exact equality is the right bar.
-type goldenSummary struct {
-	MeanErrorM     float64 `json:"meanErrorM"`
-	MaxAvgErrorM   float64 `json:"maxAvgErrorM"`
-	FinalAvgErrorM float64 `json:"finalAvgErrorM"`
-	Samples        int     `json:"samples"`
-
-	Fixes          int `json:"fixes"`
-	MissedWindows  int `json:"missedWindows"`
-	BeaconsApplied int `json:"beaconsApplied"`
-	SyncsReceived  int `json:"syncsReceived"`
-
-	TotalEnergyJ   float64 `json:"totalEnergyJ"`
-	NoSleepEnergyJ float64 `json:"noSleepEnergyJ"`
-
-	MACSent         int `json:"macSent"`
-	MACDelivered    int `json:"macDelivered"`
-	MACCollided     int `json:"macCollided"`
-	MACMissedAsleep int `json:"macMissedAsleep"`
-
-	FaultDrops int `json:"faultDrops"`
-	Crashes    int `json:"crashes"`
-}
-
-func summarize(res *cocoa.Result) goldenSummary {
-	final := 0.0
-	if n := len(res.AvgError); n > 0 {
-		final = res.AvgError[n-1]
-	}
-	return goldenSummary{
-		MeanErrorM:      res.MeanError(),
-		MaxAvgErrorM:    res.MaxAvgError(),
-		FinalAvgErrorM:  final,
-		Samples:         len(res.Times),
-		Fixes:           res.Fixes,
-		MissedWindows:   res.MissedWindows,
-		BeaconsApplied:  res.BeaconsApplied,
-		SyncsReceived:   res.SyncsReceived,
-		TotalEnergyJ:    res.TotalEnergyJ,
-		NoSleepEnergyJ:  res.NoSleepEnergyJ,
-		MACSent:         res.MAC.Sent,
-		MACDelivered:    res.MAC.Delivered,
-		MACCollided:     res.MAC.Collided,
-		MACMissedAsleep: res.MAC.MissedAsleep,
-		FaultDrops:      res.FaultDrops,
-		Crashes:         res.Crashes,
-	}
-}
-
-// goldenFamilies builds one representative config per figure family at
-// the quick scale (seed 1, 300 s, 12 robots) used across the suite.
-func goldenFamilies() map[string]cocoa.Config {
-	quick := Options{
-		Seed:               1,
-		DurationS:          300,
-		NumRobots:          12,
-		CalibrationSamples: 60000,
-		GridCellM:          4,
-	}
-	base := func() cocoa.Config {
-		cfg := cocoa.DefaultConfig()
-		quick.apply(&cfg)
-		return cfg
-	}
-
-	odo := base()
-	odo.Mode = cocoa.ModeOdometryOnly // figure family 4/5: dead reckoning drift
-
-	rf := base()
-	rf.Mode = cocoa.ModeRFOnly // figure family 6/7/8: RF fixes alone
-
-	combined := base() // figure family 6/7/8/10: full CoCoA
-
-	energy := base() // figure family 9: coordination energy at T=50
-	energy.BeaconPeriodS = 50
-
-	flt := base() // rob-faults family: lossy bursty channel + crashes
-	flt.Faults.GE = faults.Bursty(0.2, faults.DefaultBurstFrames)
-	flt.Faults.CrashFraction = 0.2
-	flt.Faults.CrashMeanDownS = 2 * float64(flt.BeaconPeriodS)
-
-	return map[string]cocoa.Config{
-		"odometry": odo,
-		"rf-only":  rf,
-		"cocoa":    combined,
-		"energy":   energy,
-		"faults":   flt,
-	}
-}
-
 func TestGoldenRegression(t *testing.T) {
-	for family, cfg := range goldenFamilies() {
+	for family, cfg := range QuickFamilies() {
 		t.Run(family, func(t *testing.T) {
 			res, err := cocoa.Run(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := json.MarshalIndent(summarize(res), "", "  ")
+			got, err := json.MarshalIndent(Summarize(res), "", "  ")
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,5 +1,7 @@
 package scenario
 
+import "context"
+
 // The experiment registry is the single place a new experiment plugs into:
 // one Descriptor entry makes it reachable from cmd/cocoaexp (dispatch,
 // -fig selection, section ordering) and from library users iterating
@@ -18,8 +20,9 @@ type Descriptor struct {
 	Title string
 	// Run executes the experiment. The concrete result type is the one the
 	// underlying Run* function returns (e.g. []Fig9Row for "fig9");
-	// callers type-assert when rendering.
-	Run func(Options) (any, error)
+	// callers type-assert when rendering. Canceling ctx aborts queued and
+	// in-flight simulation runs; a nil ctx means context.Background().
+	Run func(ctx context.Context, opts Options) (any, error)
 }
 
 // Experiments returns every registered experiment in presentation order
@@ -37,106 +40,106 @@ var registry = []Descriptor{
 	{
 		Name: "fig1", Flag: "1",
 		Title: "Figure 1 — RSSI -> distance PDFs from calibration",
-		Run:   func(o Options) (any, error) { return RunFig1(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig1(ctx, o) },
 	},
 	{
 		Name: "fig4", Flag: "4",
 		Title: "Figure 4 — localization error over time, odometry only",
-		Run:   func(o Options) (any, error) { return RunFig4(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig4(ctx, o) },
 	},
 	{
 		Name: "fig5", Flag: "5",
 		Title: "Figure 5 — an example of odometry error (one robot)",
-		Run:   func(o Options) (any, error) { return RunFig5(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig5(ctx, o) },
 	},
 	{
 		Name: "fig6", Flag: "6",
 		Title: "Figure 6 — RF localization only, beacon-period sweep",
-		Run:   func(o Options) (any, error) { return RunFig6(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig6(ctx, o) },
 	},
 	{
 		Name: "fig7", Flag: "7",
 		Title: "Figure 7 — CoCoA vs odometry-only vs RF-only (T = 100 s)",
-		Run:   func(o Options) (any, error) { return RunFig7(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig7(ctx, o) },
 	},
 	{
 		Name: "fig8", Flag: "8",
 		Title: "Figure 8 — error CDF at three time instances (T = 100 s)",
-		Run:   func(o Options) (any, error) { return RunFig8(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig8(ctx, o) },
 	},
 	{
 		Name: "fig9", Flag: "9",
 		Title: "Figure 9 — impact of beacon period T on error and energy",
-		Run:   func(o Options) (any, error) { return RunFig9(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig9(ctx, o) },
 	},
 	{
 		Name: "fig10", Flag: "10",
 		Title: "Figure 10 — impact of the number of localization devices",
-		Run:   func(o Options) (any, error) { return RunFig10(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFig10(ctx, o) },
 	},
 	{
 		Name: "ext-secondary", Flag: "ext",
 		Title: "Extension — secondary beacons from localized unequipped robots",
-		Run:   func(o Options) (any, error) { return RunExtensionSecondary(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunExtensionSecondary(ctx, o) },
 	},
 	{
 		Name: "ext-power", Flag: "power",
 		Title: "Extension — transmit power control (future work, Sec. 6)",
-		Run:   func(o Options) (any, error) { return RunExtensionPowerControl(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunExtensionPowerControl(ctx, o) },
 	},
 	{
 		Name: "ext-skew", Flag: "skew",
 		Title: "Extension — clock drift vs SYNC (why coordination needs MRMM)",
-		Run:   func(o Options) (any, error) { return RunExtensionClockSkew(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunExtensionClockSkew(ctx, o) },
 	},
 	{
 		Name: "ext-terrain", Flag: "terrain",
 		Title: "Extension — uneven terrain (paper introduction)",
-		Run:   func(o Options) (any, error) { return RunExtensionTerrain(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunExtensionTerrain(ctx, o) },
 	},
 	{
 		Name: "ext-reports", Flag: "reports",
 		Title: "Extension — status reports to the controller (geographic unicast)",
-		Run:   func(o Options) (any, error) { return RunExtensionReporting(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunExtensionReporting(ctx, o) },
 	},
 	{
 		Name: "rob-failures", Flag: "failures",
 		Title: "Robustness — equipped-robot failures mid-run",
-		Run:   func(o Options) (any, error) { return RunFailureInjection(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFailureInjection(ctx, o) },
 	},
 	{
 		Name: "rob-replication", Flag: "failures",
 		Title: "Robustness — cross-seed replication of the headline metric",
-		Run:   func(o Options) (any, error) { return RunReplication(o, replicationSeeds) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunReplication(ctx, o, replicationSeeds) },
 	},
 	{
 		Name: "rob-faults", Flag: "faults",
 		Title: "Robustness — graceful degradation under injected faults (loss x crashes)",
-		Run:   func(o Options) (any, error) { return RunFaultSweep(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunFaultSweep(ctx, o) },
 	},
 	{
 		Name: "baseline", Flag: "baseline",
 		Title: "Baseline — CoCoA vs Cooperative Positioning (Kurazume et al.)",
-		Run:   func(o Options) (any, error) { return RunBaselineCoopPos(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunBaselineCoopPos(ctx, o) },
 	},
 	{
 		Name: "ablation-pruning", Flag: "ablations",
 		Title: "Ablation — MRMM mesh pruning vs plain ODMRP",
-		Run:   func(o Options) (any, error) { return RunAblationPruning(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunAblationPruning(ctx, o) },
 	},
 	{
 		Name: "ablation-k", Flag: "ablations",
 		Title: "Ablation — beacon redundancy k",
-		Run:   func(o Options) (any, error) { return RunAblationK(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunAblationK(ctx, o) },
 	},
 	{
 		Name: "ablation-grid", Flag: "ablations",
 		Title: "Ablation — Bayesian grid resolution",
-		Run:   func(o Options) (any, error) { return RunAblationGrid(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunAblationGrid(ctx, o) },
 	},
 	{
 		Name: "ablation-localizer", Flag: "ablations",
 		Title: "Ablation — localization backend (grid vs Monte Carlo)",
-		Run:   func(o Options) (any, error) { return RunAblationLocalizer(o) },
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunAblationLocalizer(ctx, o) },
 	},
 }

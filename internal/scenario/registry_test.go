@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -46,7 +47,7 @@ func TestRegistryRunFig1(t *testing.T) {
 		if d.Name != "fig1" {
 			continue
 		}
-		v, err := d.Run(Options{Seed: 7, CalibrationSamples: 60000})
+		v, err := d.Run(context.Background(), Options{Seed: 7, CalibrationSamples: 60000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,11 +69,11 @@ func TestSweepsDeterministicAcrossParallelism(t *testing.T) {
 	parallel.Parallelism = 4
 
 	t.Run("failure-injection", func(t *testing.T) {
-		s, err := RunFailureInjection(serial)
+		s, err := RunFailureInjection(context.Background(), serial)
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := RunFailureInjection(parallel)
+		p, err := RunFailureInjection(context.Background(), parallel)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,11 +83,11 @@ func TestSweepsDeterministicAcrossParallelism(t *testing.T) {
 	})
 
 	t.Run("ablation-k", func(t *testing.T) {
-		s, err := RunAblationK(serial)
+		s, err := RunAblationK(context.Background(), serial)
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := RunAblationK(parallel)
+		p, err := RunAblationK(context.Background(), parallel)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func TestSweepProgressCallback(t *testing.T) {
 		}
 		calls = append(calls, done)
 	}
-	if _, err := RunFailureInjection(opts); err != nil {
+	if _, err := RunFailureInjection(context.Background(), opts); err != nil {
 		t.Fatal(err)
 	}
 	if len(calls) != 3 {

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"math"
 
 	"cocoa/internal/cocoa"
@@ -20,7 +21,7 @@ type FailureRow struct {
 // concern. CoCoA should degrade gracefully: survivors keep beaconing and
 // accuracy settles at the level of the reduced anchor set (Figure 10's
 // curve, reached dynamically).
-func RunFailureInjection(opts Options) ([]FailureRow, error) {
+func RunFailureInjection(ctx context.Context, opts Options) ([]FailureRow, error) {
 	fracs := []float64{0, 0.4, 0.8}
 	cfgs := make([]cocoa.Config, len(fracs))
 	for i, frac := range fracs {
@@ -30,7 +31,7 @@ func RunFailureInjection(opts Options) ([]FailureRow, error) {
 		cfg.FailAtS = cfg.DurationS / 3
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +77,7 @@ type Replication struct {
 // RunReplication repeats the default CoCoA deployment across seeds — the
 // embarrassingly parallel workload the engine was built for: every seed is
 // an independent run and cross-seed statistics need many of them.
-func RunReplication(opts Options, seeds int) (Replication, error) {
+func RunReplication(ctx context.Context, opts Options, seeds int) (Replication, error) {
 	if seeds <= 0 {
 		seeds = 5
 	}
@@ -87,7 +88,7 @@ func RunReplication(opts Options, seeds int) (Replication, error) {
 		cfg.Seed = opts.seed() + int64(s)
 		cfgs[s] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return Replication{}, err
 	}
@@ -125,7 +126,7 @@ type TerrainRow struct {
 // uneven surfaces exacerbate odometry error — and that CoCoA's periodic
 // RF fixes neutralize it: odometry-only degrades with terrain roughness,
 // CoCoA barely moves.
-func RunExtensionTerrain(opts Options) ([]TerrainRow, error) {
+func RunExtensionTerrain(ctx context.Context, opts Options) ([]TerrainRow, error) {
 	type point struct {
 		mode cocoa.Mode
 		amp  float64
@@ -144,7 +145,7 @@ func RunExtensionTerrain(opts Options) ([]TerrainRow, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}

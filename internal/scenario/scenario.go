@@ -6,7 +6,10 @@
 //
 // All runners accept Options so benchmarks can run shortened versions; the
 // zero Options value reproduces the paper's full-scale setup (50 robots,
-// 40000 m^2, 30 minutes).
+// 40000 m^2, 30 minutes). Every runner is context-first: canceling the
+// context aborts queued and in-flight simulation runs. The context only
+// gates execution — it never feeds the simulation, so results stay
+// byte-identical whether a run raced a live deadline or none at all.
 package scenario
 
 import (
@@ -50,12 +53,22 @@ type Options struct {
 }
 
 // runAll executes prepared sweep configs on the experiment engine,
-// returning results in config order.
-func (o Options) runAll(cfgs []cocoa.Config) ([]*cocoa.Result, error) {
-	return runner.Runs(context.Background(), runner.Options{
+// returning results in config order. Cancellation of ctx aborts queued and
+// in-flight runs; a nil ctx means context.Background().
+func (o Options) runAll(ctx context.Context, cfgs []cocoa.Config) ([]*cocoa.Result, error) {
+	return runner.Runs(ctx, runner.Options{
 		Parallelism: o.Parallelism,
 		Progress:    o.Progress,
 	}, cfgs)
+}
+
+// ctxErr is the early-exit cancellation check for runners whose work does
+// not pass through runAll (pure computation, calibration lookups).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func (o Options) seed() int64 {
@@ -147,7 +160,10 @@ type Fig1Result struct {
 
 // RunFig1 performs the offline calibration and extracts the two PDFs the
 // paper plots.
-func RunFig1(opts Options) (*Fig1Result, error) {
+func RunFig1(ctx context.Context, opts Options) (*Fig1Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	model := radio.DefaultModel()
 	calOpts := caltable.DefaultOptions()
 	if opts.CalibrationSamples > 0 {
@@ -187,7 +203,7 @@ func sampleCurve(table *caltable.Table, rssi float64) (*PDFCurve, error) {
 
 // RunFig4 reproduces Figure 4: odometry-only average error over time for
 // maximum speeds 0.5 and 2.0 m/s.
-func RunFig4(opts Options) ([]Series, error) {
+func RunFig4(ctx context.Context, opts Options) ([]Series, error) {
 	speeds := []float64{0.5, 2.0}
 	cfgs := make([]cocoa.Config, len(speeds))
 	for i, vmax := range speeds {
@@ -197,7 +213,7 @@ func RunFig4(opts Options) ([]Series, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +237,10 @@ type Fig5Result struct {
 
 // RunFig5 reproduces Figure 5's illustration: one robot's real path versus
 // the path its odometer believes it followed.
-func RunFig5(opts Options) (*Fig5Result, error) {
+func RunFig5(ctx context.Context, opts Options) (*Fig5Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	root := sim.NewRNG(opts.seed())
 	dur := 600.0
 	if opts.DurationS > 0 {
@@ -258,7 +277,7 @@ var BeaconPeriods = []sim.Time{10, 50, 100, 300}
 
 // RunFig6 reproduces Figure 6: RF-only localization error over time for
 // each beacon period T.
-func RunFig6(opts Options) ([]Series, error) {
+func RunFig6(ctx context.Context, opts Options) ([]Series, error) {
 	cfgs := make([]cocoa.Config, len(BeaconPeriods))
 	for i, T := range BeaconPeriods {
 		cfg := cocoa.DefaultConfig()
@@ -267,7 +286,7 @@ func RunFig6(opts Options) ([]Series, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +311,7 @@ type Fig7Result struct {
 
 // RunFig7 reproduces Figures 7(a) and 7(b): the three approaches at the
 // paper's two maximum speeds.
-func RunFig7(opts Options) ([]Fig7Result, error) {
+func RunFig7(ctx context.Context, opts Options) ([]Fig7Result, error) {
 	speeds := []float64{0.5, 2.0}
 	modes := []cocoa.Mode{cocoa.ModeOdometryOnly, cocoa.ModeRFOnly, cocoa.ModeCombined}
 	var cfgs []cocoa.Config
@@ -306,7 +325,7 @@ func RunFig7(opts Options) ([]Fig7Result, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -344,11 +363,11 @@ type CDFSnapshot struct {
 
 // RunFig8 reproduces Figure 8: CoCoA error CDFs (T = 100 s) at the end of
 // a beacon period, right after a transmit period, and mid-sleep.
-func RunFig8(opts Options) ([]CDFSnapshot, error) {
+func RunFig8(ctx context.Context, opts Options) ([]CDFSnapshot, error) {
 	cfg := cocoa.DefaultConfig()
 	cfg.BeaconPeriodS = 100
 	opts.apply(&cfg)
-	results, err := opts.runAll([]cocoa.Config{cfg})
+	results, err := opts.runAll(ctx, []cocoa.Config{cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +426,7 @@ type Fig9Row struct {
 
 // RunFig9 reproduces Figures 9(a) and 9(b): CoCoA error over time and team
 // energy with/without coordination across the T sweep.
-func RunFig9(opts Options) ([]Fig9Row, error) {
+func RunFig9(ctx context.Context, opts Options) ([]Fig9Row, error) {
 	cfgs := make([]cocoa.Config, len(BeaconPeriods))
 	for i, T := range BeaconPeriods {
 		cfg := cocoa.DefaultConfig()
@@ -415,7 +434,7 @@ func RunFig9(opts Options) ([]Fig9Row, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -455,7 +474,7 @@ type Fig10Row struct {
 
 // RunFig10 reproduces Figure 10: CoCoA localization error as the number of
 // equipped robots varies, T = 100 s.
-func RunFig10(opts Options) ([]Fig10Row, error) {
+func RunFig10(ctx context.Context, opts Options) ([]Fig10Row, error) {
 	cfgs := make([]cocoa.Config, len(EquippedCounts))
 	for i, n := range EquippedCounts {
 		cfg := cocoa.DefaultConfig()
@@ -472,7 +491,7 @@ func RunFig10(opts Options) ([]Fig10Row, error) {
 		}
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -511,7 +530,7 @@ type ExtensionRow struct {
 // RunExtensionSecondary evaluates the paper's Section 6 idea: localized
 // unequipped robots also beacon. The interesting regime is few equipped
 // robots, where coverage gaps make extra (noisier) anchors worthwhile.
-func RunExtensionSecondary(opts Options) ([]ExtensionRow, error) {
+func RunExtensionSecondary(ctx context.Context, opts Options) ([]ExtensionRow, error) {
 	counts := []int{5, 15}
 	var cfgs []cocoa.Config
 	for _, n := range counts {
@@ -530,7 +549,7 @@ func RunExtensionSecondary(opts Options) ([]ExtensionRow, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -562,7 +581,7 @@ type AblationPruningRow struct {
 
 // RunAblationPruning measures SYNC dissemination cost with MRMM's
 // mobility-aware pruning versus plain ODMRP upstream selection.
-func RunAblationPruning(opts Options) ([]AblationPruningRow, error) {
+func RunAblationPruning(ctx context.Context, opts Options) ([]AblationPruningRow, error) {
 	variants := []bool{true, false}
 	cfgs := make([]cocoa.Config, len(variants))
 	for i, pruning := range variants {
@@ -571,7 +590,7 @@ func RunAblationPruning(opts Options) ([]AblationPruningRow, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -601,7 +620,7 @@ type AblationKRow struct {
 
 // RunAblationK sweeps the per-window beacon count k in {1, 3, 5}: the
 // paper fixes k=3 "for reliability"; this quantifies the choice.
-func RunAblationK(opts Options) ([]AblationKRow, error) {
+func RunAblationK(ctx context.Context, opts Options) ([]AblationKRow, error) {
 	ks := []int{1, 3, 5}
 	cfgs := make([]cocoa.Config, len(ks))
 	for i, k := range ks {
@@ -610,7 +629,7 @@ func RunAblationK(opts Options) ([]AblationKRow, error) {
 		opts.apply(&cfg)
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -635,7 +654,7 @@ type AblationGridRow struct {
 }
 
 // RunAblationGrid sweeps the Bayesian grid resolution.
-func RunAblationGrid(opts Options) ([]AblationGridRow, error) {
+func RunAblationGrid(ctx context.Context, opts Options) ([]AblationGridRow, error) {
 	cells := []float64{1, 2, 4, 8}
 	cfgs := make([]cocoa.Config, len(cells))
 	for i, cell := range cells {
@@ -644,7 +663,7 @@ func RunAblationGrid(opts Options) ([]AblationGridRow, error) {
 		cfg.GridCellM = cell // opts may override; the sweep wins
 		cfgs[i] = cfg
 	}
-	results, err := opts.runAll(cfgs)
+	results, err := opts.runAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -49,7 +50,7 @@ func TestSeriesHelpers(t *testing.T) {
 // Figure 1: the strong-RSSI PDF must be Gaussian, the weak one must not
 // be, and PDF means must order by distance.
 func TestFig1(t *testing.T) {
-	res, err := RunFig1(Options{Seed: 7, CalibrationSamples: 120000})
+	res, err := RunFig1(context.Background(), Options{Seed: 7, CalibrationSamples: 120000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFig1(t *testing.T) {
 
 // Figure 4: odometry error grows over time for both speeds.
 func TestFig4(t *testing.T) {
-	series, err := RunFig4(fastOpts())
+	series, err := RunFig4(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFig4(t *testing.T) {
 
 // Figure 5: the estimated path diverges from the true path.
 func TestFig5(t *testing.T) {
-	res, err := RunFig5(Options{Seed: 7, DurationS: 400})
+	res, err := RunFig5(context.Background(), Options{Seed: 7, DurationS: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFig5(t *testing.T) {
 // Figure 6: RF-only error for each T; larger T must not be more accurate
 // than the smallest T in steady state (staleness grows with T).
 func TestFig6(t *testing.T) {
-	series, err := RunFig6(fastOpts())
+	series, err := RunFig6(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestFig6(t *testing.T) {
 
 // Figure 7: CoCoA must beat RF-only in steady state for both speeds.
 func TestFig7(t *testing.T) {
-	results, err := RunFig7(fastOpts())
+	results, err := RunFig7(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestFig7(t *testing.T) {
 // Figure 8: three snapshots; localization is best right after the transmit
 // window.
 func TestFig8(t *testing.T) {
-	snaps, err := RunFig8(fastOpts())
+	snaps, err := RunFig8(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFig8(t *testing.T) {
 // Figure 9: energy savings must grow with T and stay above ~2x; error must
 // stay bounded.
 func TestFig9(t *testing.T) {
-	rows, err := RunFig9(fastOpts())
+	rows, err := RunFig9(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestFig9(t *testing.T) {
 // Figure 10: more equipped robots must not hurt accuracy much; the fix
 // rate must not decrease with more devices.
 func TestFig10(t *testing.T) {
-	rows, err := RunFig10(fastOpts())
+	rows, err := RunFig10(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestFig10(t *testing.T) {
 }
 
 func TestExtensionSecondary(t *testing.T) {
-	rows, err := RunExtensionSecondary(fastOpts())
+	rows, err := RunExtensionSecondary(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestExtensionSecondary(t *testing.T) {
 }
 
 func TestAblationPruning(t *testing.T) {
-	rows, err := RunAblationPruning(fastOpts())
+	rows, err := RunAblationPruning(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestAblationPruning(t *testing.T) {
 }
 
 func TestAblationK(t *testing.T) {
-	rows, err := RunAblationK(fastOpts())
+	rows, err := RunAblationK(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestAblationK(t *testing.T) {
 }
 
 func TestAblationGrid(t *testing.T) {
-	rows, err := RunAblationGrid(fastOpts())
+	rows, err := RunAblationGrid(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"cocoa/internal/cocoa"
+	"cocoa/internal/faults"
+)
+
+// Summary is the pinned subset of cocoa.Result the golden regression
+// suite compares byte-for-byte: the headline metrics each figure family
+// reports, plus protocol counters sensitive to ordering bugs. Floats are
+// stored at full precision — runs are bit-deterministic, so exact
+// equality is the right bar. The service smoke test (cocoad -smoke)
+// summarizes a result fetched over HTTP and compares it against the same
+// checked-in testdata/golden_*.json files.
+type Summary struct {
+	MeanErrorM     float64 `json:"meanErrorM"`
+	MaxAvgErrorM   float64 `json:"maxAvgErrorM"`
+	FinalAvgErrorM float64 `json:"finalAvgErrorM"`
+	Samples        int     `json:"samples"`
+
+	Fixes          int `json:"fixes"`
+	MissedWindows  int `json:"missedWindows"`
+	BeaconsApplied int `json:"beaconsApplied"`
+	SyncsReceived  int `json:"syncsReceived"`
+
+	TotalEnergyJ   float64 `json:"totalEnergyJ"`
+	NoSleepEnergyJ float64 `json:"noSleepEnergyJ"`
+
+	MACSent         int `json:"macSent"`
+	MACDelivered    int `json:"macDelivered"`
+	MACCollided     int `json:"macCollided"`
+	MACMissedAsleep int `json:"macMissedAsleep"`
+
+	FaultDrops int `json:"faultDrops"`
+	Crashes    int `json:"crashes"`
+}
+
+// Summarize reduces a run result to its golden Summary.
+func Summarize(res *cocoa.Result) Summary {
+	final := 0.0
+	if n := len(res.AvgError); n > 0 {
+		final = res.AvgError[n-1]
+	}
+	return Summary{
+		MeanErrorM:      res.MeanError(),
+		MaxAvgErrorM:    res.MaxAvgError(),
+		FinalAvgErrorM:  final,
+		Samples:         len(res.Times),
+		Fixes:           res.Fixes,
+		MissedWindows:   res.MissedWindows,
+		BeaconsApplied:  res.BeaconsApplied,
+		SyncsReceived:   res.SyncsReceived,
+		TotalEnergyJ:    res.TotalEnergyJ,
+		NoSleepEnergyJ:  res.NoSleepEnergyJ,
+		MACSent:         res.MAC.Sent,
+		MACDelivered:    res.MAC.Delivered,
+		MACCollided:     res.MAC.Collided,
+		MACMissedAsleep: res.MAC.MissedAsleep,
+		FaultDrops:      res.FaultDrops,
+		Crashes:         res.Crashes,
+	}
+}
+
+// QuickFamilies returns one representative config per golden figure
+// family at the quick scale (seed 1, 300 s, 12 robots) pinned by
+// testdata/golden_<name>.json. The map keys are the file-name families.
+func QuickFamilies() map[string]cocoa.Config {
+	quick := Options{
+		Seed:               1,
+		DurationS:          300,
+		NumRobots:          12,
+		CalibrationSamples: 60000,
+		GridCellM:          4,
+	}
+	base := func() cocoa.Config {
+		cfg := cocoa.DefaultConfig()
+		quick.apply(&cfg)
+		return cfg
+	}
+
+	odo := base()
+	odo.Mode = cocoa.ModeOdometryOnly // figure family 4/5: dead reckoning drift
+
+	rf := base()
+	rf.Mode = cocoa.ModeRFOnly // figure family 6/7/8: RF fixes alone
+
+	combined := base() // figure family 6/7/8/10: full CoCoA
+
+	energy := base() // figure family 9: coordination energy at T=50
+	energy.BeaconPeriodS = 50
+
+	flt := base() // rob-faults family: lossy bursty channel + crashes
+	flt.Faults.GE = faults.Bursty(0.2, faults.DefaultBurstFrames)
+	flt.Faults.CrashFraction = 0.2
+	flt.Faults.CrashMeanDownS = 2 * float64(flt.BeaconPeriodS)
+
+	return map[string]cocoa.Config{
+		"odometry": odo,
+		"rf-only":  rf,
+		"cocoa":    combined,
+		"energy":   energy,
+		"faults":   flt,
+	}
+}

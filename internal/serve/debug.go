@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"cocoa/internal/telemetry"
+)
+
+// publishOnce guards expvar registration: expvar.Publish panics on a
+// duplicate name, and tests start many debug servers in one process.
+var publishOnce sync.Once
+
+// publishTelemetryVar exposes the process-global registry as the expvar
+// variable "telemetry", so /debug/vars serves a full snapshot alongside
+// the standard memstats/cmdline variables.
+func publishTelemetryVar() {
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return telemetry.Default.Snapshot()
+		}))
+	})
+}
+
+// DebugMux returns the private diagnostics mux: expvar under /debug/vars
+// (including the telemetry snapshot) and the pprof suite under
+// /debug/pprof/. It is deliberately separate from the public API handler
+// so operators can bind it to a loopback-only address.
+func DebugMux() *http.ServeMux {
+	publishTelemetryVar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer serves DebugMux on its own listener (never
+// http.DefaultServeMux, which would leak handlers into importers) and
+// returns the actual listen address so ":0" works in tests. The server
+// runs for the remaining process lifetime; there is nothing to shut down
+// cleanly mid-run.
+func StartDebugServer(addr string) (string, error) {
+	mux := DebugMux()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug server: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

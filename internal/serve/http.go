@@ -1,0 +1,208 @@
+package serve
+
+// The HTTP surface of the service. Error taxonomy maps onto status codes:
+//
+//	400  invalid config (field + reason) or malformed request
+//	404  unknown job ID
+//	409  result requested before the job reached the done state
+//	429  queue full (Retry-After hints when to resubmit)
+//	503  draining after SIGTERM (Retry-After; try another replica)
+//
+// The events endpoint streams newline-delimited JSON status snapshots —
+// one line per state or progress change — until the job is terminal or
+// the client goes away.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cocoa"
+	"cocoa/internal/runner"
+	"cocoa/internal/telemetry"
+)
+
+// Handler returns the service's public API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error  string `json:"error"`
+	Field  string `json:"field,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) retryAfter() string {
+	d := s.cfg.RetryAfter
+	if d <= 0 {
+		d = time.Second
+	}
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		var ce *cocoa.ConfigError
+		switch {
+		case errors.As(err, &ce):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Field: ce.Field, Reason: ce.Reason})
+		case errors.Is(err, ErrBadRequest):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		case errors.Is(err, runner.ErrQueueFull):
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", s.retryAfter())
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	b, ready := j.Result()
+	if !ready {
+		st := j.Status()
+		code := http.StatusConflict
+		writeJSON(w, code, errorBody{Error: "job " + st.ID + " is " + string(st.State) + ", not done", Reason: st.Error})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleEvents streams NDJSON status snapshots until the job terminates
+// or the client disconnects. Each change produces exactly one line.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for {
+		st, changed := j.Watch()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// experimentInfo is one registry entry on the wire.
+type experimentInfo struct {
+	Name  string `json:"name"`
+	Flag  string `json:"flag"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	ds := cocoa.Experiments()
+	out := make([]experimentInfo, len(ds))
+	for i, d := range ds {
+		out[i] = experimentInfo{Name: d.Name, Flag: d.Flag, Title: d.Title}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.Default.Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"queued":   st.Queued,
+		"inflight": st.InFlight,
+		"workers":  st.Workers,
+		"capacity": st.Capacity,
+	})
+}

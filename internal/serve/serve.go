@@ -1,0 +1,469 @@
+// Package serve implements the cocoad batch simulation service: a bounded
+// job queue over the experiment engine, exposed as an HTTP/JSON API.
+//
+// Callers submit either a raw cocoa.Config or a named registry experiment
+// and get back a job ID; jobs execute on a fixed worker pool with a
+// bounded waiting queue, so overload turns into explicit backpressure
+// (HTTP 429 + Retry-After) instead of unbounded memory growth. Each job
+// runs under its own context with an optional deadline; cancellation is
+// cooperative all the way down to the simulation's sampling tick.
+//
+// Determinism is preserved end to end: a result served over HTTP is the
+// JSON encoding of exactly what the equivalent direct cocoa.Run call
+// returns, at any worker count and queue occupancy — the service adds
+// scheduling, never semantics.
+//
+// Shutdown is a drain, not a kill: Shutdown stops intake (submissions get
+// HTTP 503), lets every accepted job finish, then returns. A deadline on
+// the drain context hard-cancels the remaining jobs cooperatively.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cocoa"
+	"cocoa/internal/runner"
+	"cocoa/internal/telemetry"
+)
+
+// Service admission errors beyond the pool's own.
+var (
+	// ErrDraining reports a submission after Shutdown began; an HTTP
+	// frontend maps it to 503.
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+	// ErrBadRequest wraps malformed submissions that are not config
+	// validation failures (no payload, unknown experiment, both kinds set).
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Telemetry instruments for the service layer. The queue/inflight gauges
+// live in the runner pool (runner.pool_queued, runner.pool_inflight).
+var (
+	telAccepted         = telemetry.Default.Counter("serve.jobs_accepted")
+	telRejectedFull     = telemetry.Default.Counter("serve.jobs_rejected_full")
+	telRejectedDraining = telemetry.Default.Counter("serve.jobs_rejected_draining")
+	telRejectedInvalid  = telemetry.Default.Counter("serve.jobs_rejected_invalid")
+	telCompleted        = telemetry.Default.Counter("serve.jobs_completed")
+	telFailed           = telemetry.Default.Counter("serve.jobs_failed")
+	telCanceled         = telemetry.Default.Counter("serve.jobs_canceled")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of jobs executing concurrently; <= 0 means 1.
+	// Results are byte-identical at any value.
+	Workers int
+	// QueueDepth bounds how many accepted jobs may wait for a worker;
+	// beyond it submissions are rejected with runner.ErrQueueFull. < 0
+	// means 0 (admission only via an idle worker's queue slot).
+	QueueDepth int
+	// DefaultTimeout applies to jobs that request none; 0 means no limit.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested per-job timeout; 0 means no cap.
+	MaxTimeout time.Duration
+	// RetryAfter is the backpressure hint returned with 429/503 responses;
+	// 0 means 1 second.
+	RetryAfter time.Duration
+}
+
+// State is a job's lifecycle position. Transitions are strictly
+// queued -> running -> {done, failed}, with canceled reachable from
+// queued (never ran) or running (stopped cooperatively).
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobOptions mirrors the JSON-safe subset of cocoa.ExperimentOptions for
+// named-experiment jobs (the Progress callback is wired by the service).
+type JobOptions struct {
+	Seed               int64   `json:"seed,omitempty"`
+	DurationS          float64 `json:"duration_s,omitempty"`
+	NumRobots          int     `json:"num_robots,omitempty"`
+	CalibrationSamples int     `json:"calibration_samples,omitempty"`
+	GridCellM          float64 `json:"grid_cell_m,omitempty"`
+	Parallelism        int     `json:"parallelism,omitempty"`
+}
+
+// JobRequest is one submission: exactly one of Config (a raw deployment,
+// result is the full cocoa.Result) or Experiment (a registry name, result
+// is that experiment's row type) must be set.
+type JobRequest struct {
+	Config     *cocoa.Config `json:"config,omitempty"`
+	Experiment string        `json:"experiment,omitempty"`
+	Options    *JobOptions   `json:"options,omitempty"`
+	// TimeoutS bounds the job's total lifetime (queue wait included);
+	// 0 uses the service default.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+}
+
+// JobStatus is the wire representation of a job's current state.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"` // "config" or the experiment name
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// RunsDone/RunsTotal track per-run progress inside the job's sweep;
+	// a raw-config job is a single run.
+	RunsDone  int `json:"runs_done"`
+	RunsTotal int `json:"runs_total"`
+}
+
+// Job is one tracked submission.
+type Job struct {
+	id   string
+	kind string
+
+	mu      sync.Mutex
+	state   State
+	errMsg  string
+	result  []byte
+	done    int
+	total   int
+	changed chan struct{}
+
+	handle *runner.Handle[[]byte]
+}
+
+// ID returns the job's unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns a point-in-time snapshot.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg,
+		RunsDone: j.done, RunsTotal: j.total,
+	}
+}
+
+// Watch returns the current snapshot plus a channel closed on the next
+// change — the poll-free primitive behind the events stream.
+func (j *Job) Watch() (JobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg,
+		RunsDone: j.done, RunsTotal: j.total,
+	}
+	return st, j.changed
+}
+
+// Cancel asks the job to stop; safe on terminal jobs.
+func (j *Job) Cancel() { j.handle.Cancel() }
+
+// Result returns the stored result bytes once the job is done.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// broadcast wakes watchers; callers hold j.mu.
+func (j *Job) broadcast() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.broadcast()
+	}
+}
+
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done, j.total = done, total
+	j.broadcast()
+}
+
+// finalize records the outcome exactly once, classifying context errors:
+// Canceled means the caller asked; DeadlineExceeded is a failure.
+func (j *Job) finalize(b []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = b
+		j.done = j.total
+		telCompleted.Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errMsg = "canceled"
+		telCanceled.Inc()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		telFailed.Inc()
+	}
+	j.broadcast()
+}
+
+// Server is the job-queue service. Create with New; serve its HTTP API
+// via Handler.
+type Server struct {
+	cfg  Config
+	pool *runner.Pool[[]byte]
+
+	// root is the parent of every job context; rootCancel is the
+	// drain-deadline hard stop.
+	root       context.Context
+	rootCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      int
+	draining bool
+
+	// settlers tracks the per-job goroutines that record terminal states;
+	// Shutdown waits for them so every job is terminal when it returns.
+	settlers sync.WaitGroup
+
+	// runFn, when non-nil, replaces job execution — a test seam for
+	// controllable blocking/failing jobs. Never set in production.
+	runFn func(ctx context.Context, j *Job) ([]byte, error)
+}
+
+// New starts a service with cfg's worker pool. Call Shutdown to drain.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	root, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		pool:       runner.NewPool[[]byte](cfg.Workers, cfg.QueueDepth),
+		root:       root,
+		rootCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+}
+
+// experimentOptions converts wire options to scenario options with the
+// job's progress callback attached.
+func experimentOptions(o *JobOptions, j *Job) cocoa.ExperimentOptions {
+	var opts cocoa.ExperimentOptions
+	if o != nil {
+		opts.Seed = o.Seed
+		opts.DurationS = o.DurationS
+		opts.NumRobots = o.NumRobots
+		opts.CalibrationSamples = o.CalibrationSamples
+		opts.GridCellM = o.GridCellM
+		opts.Parallelism = o.Parallelism
+	}
+	opts.Progress = j.setProgress
+	return opts
+}
+
+// findExperiment resolves a registry name.
+func findExperiment(name string) (cocoa.ExperimentDescriptor, bool) {
+	for _, d := range cocoa.Experiments() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return cocoa.ExperimentDescriptor{}, false
+}
+
+// timeout resolves a request's effective deadline under service policy.
+func (s *Server) timeout(req JobRequest) time.Duration {
+	d := time.Duration(req.TimeoutS * float64(time.Second))
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// Submit validates req and enqueues it. Error taxonomy: *cocoa.ConfigError
+// (wrapping cocoa.ErrInvalidConfig) for bad configs, ErrBadRequest for
+// malformed submissions, runner.ErrQueueFull under backpressure,
+// ErrDraining during shutdown.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	if (req.Config == nil) == (req.Experiment == "") {
+		telRejectedInvalid.Inc()
+		return nil, fmt.Errorf("%w: exactly one of config or experiment must be set", ErrBadRequest)
+	}
+
+	j := &Job{kind: "config", state: StateQueued, total: 1, changed: make(chan struct{})}
+	var exec func(ctx context.Context) ([]byte, error)
+	switch {
+	case s.runFn != nil:
+		j.kind = req.Experiment
+		if req.Config != nil {
+			j.kind = "config"
+		}
+		exec = func(ctx context.Context) ([]byte, error) { return s.runFn(ctx, j) }
+	case req.Config != nil:
+		cfg := *req.Config
+		if err := cfg.Validate(); err != nil {
+			telRejectedInvalid.Inc()
+			return nil, err
+		}
+		exec = func(ctx context.Context) ([]byte, error) {
+			res, err := cocoa.RunContext(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		}
+	default:
+		d, ok := findExperiment(req.Experiment)
+		if !ok {
+			telRejectedInvalid.Inc()
+			return nil, fmt.Errorf("%w: unknown experiment %q", ErrBadRequest, req.Experiment)
+		}
+		j.kind = d.Name
+		opts := experimentOptions(req.Options, j)
+		exec = func(ctx context.Context) ([]byte, error) {
+			v, err := d.Run(ctx, opts)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(v)
+		}
+	}
+
+	jctx := s.root
+	var cancelTimeout context.CancelFunc
+	if d := s.timeout(req); d > 0 {
+		jctx, cancelTimeout = context.WithTimeout(s.root, d)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		if cancelTimeout != nil {
+			cancelTimeout()
+		}
+		telRejectedDraining.Inc()
+		return nil, ErrDraining
+	}
+	s.seq++
+	j.id = fmt.Sprintf("job-%06d", s.seq)
+	h, err := s.pool.TrySubmit(jctx, func(ctx context.Context) ([]byte, error) {
+		j.setRunning()
+		return exec(ctx)
+	})
+	if err != nil {
+		s.seq--
+		s.mu.Unlock()
+		if cancelTimeout != nil {
+			cancelTimeout()
+		}
+		if errors.Is(err, runner.ErrPoolClosed) {
+			telRejectedDraining.Inc()
+			return nil, ErrDraining
+		}
+		telRejectedFull.Inc()
+		return nil, err
+	}
+	j.handle = h
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	telAccepted.Inc()
+
+	// The settler owns the job's terminal transition; it exits as soon as
+	// the handle completes (drain waits for exactly these).
+	s.settlers.Add(1)
+	go func() {
+		defer s.settlers.Done()
+		b, err := h.Result()
+		j.finalize(b, err)
+		if cancelTimeout != nil {
+			cancelTimeout()
+		}
+	}()
+	return j, nil
+}
+
+// Job returns a tracked job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of every tracked job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats exposes the pool occupancy for health endpoints.
+func (s *Server) Stats() runner.PoolStats { return s.pool.Stats() }
+
+// Shutdown drains the service: intake stops immediately (Submit returns
+// ErrDraining), accepted jobs run to completion, then Shutdown returns.
+// If ctx expires first, the remaining jobs are canceled cooperatively and
+// Shutdown still waits for them to settle before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		s.settlers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel() // hard-cancel stragglers; they settle via their contexts
+		<-drained
+		return ctx.Err()
+	}
+}
