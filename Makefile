@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGilbertElliott -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzEventlogRoundTrip -fuzztime=$(FUZZTIME) ./internal/eventlog
 	$(GO) test -run='^$$' -fuzz=FuzzTabulateAgreement -fuzztime=$(FUZZTIME) ./internal/caltable
+	$(GO) test -run='^$$' -fuzz=FuzzGridIndex -fuzztime=$(FUZZTIME) ./internal/mac
 
 # cover prints per-package statement coverage; cover-check additionally
 # enforces the floors in coverage_floor.txt (see cmd/covergate). Floors
@@ -65,7 +66,7 @@ bench-smoke:
 
 # bench-json refreshes the checked-in benchmark trajectory
 # from a full -benchmem run; see README "Benchmark tracking" for the format.
-BENCHJSON_OUT ?= BENCH_PR4.json
+BENCHJSON_OUT ?= BENCH_PR7.json
 
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)

@@ -391,3 +391,48 @@ func BenchmarkExtensionTerrain(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkSwarm runs one constant-density swarm deployment (DESIGN.md
+// §12). The grid/scan pair at each size is the spatial index's headline:
+// identical results, with per-frame MAC cost bounded by the local
+// neighborhood instead of the team size. Team construction (RNG stream
+// seeding and robot allocation for n robots, identical in both modes and
+// not what the index accelerates) happens outside the timer; the measured
+// region is the simulation run itself.
+func benchmarkSwarm(b *testing.B, n int, index string) {
+	cfg := cocoa.SwarmConfig(n)
+	cfg.NeighborIndex = index
+	cfg.Calibration.Samples = 80000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tm, err := cocoa.NewTeam(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := tm.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.MeanError(), "mean-err-m")
+		}
+	}
+}
+
+func BenchmarkSwarmSim100(b *testing.B) {
+	b.Run("grid", func(b *testing.B) { benchmarkSwarm(b, 100, "grid") })
+	b.Run("scan", func(b *testing.B) { benchmarkSwarm(b, 100, "scan") })
+}
+
+func BenchmarkSwarmSim500(b *testing.B) {
+	b.Run("grid", func(b *testing.B) { benchmarkSwarm(b, 500, "grid") })
+	b.Run("scan", func(b *testing.B) { benchmarkSwarm(b, 500, "scan") })
+}
+
+func BenchmarkSwarmSim1000(b *testing.B) {
+	b.Run("grid", func(b *testing.B) { benchmarkSwarm(b, 1000, "grid") })
+	b.Run("scan", func(b *testing.B) { benchmarkSwarm(b, 1000, "scan") })
+}

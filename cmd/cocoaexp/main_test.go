@@ -60,6 +60,54 @@ func TestRunAblationsQuick(t *testing.T) {
 	}
 }
 
+func TestRunScaleQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-fig", "scale"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Scale — swarm sweep") {
+		t.Errorf("missing scale section:\n%s", out)
+	}
+	if !strings.Contains(out, "belowSense") {
+		t.Errorf("scale table missing belowSense column:\n%s", out)
+	}
+}
+
+// -index scan must reproduce the grid default byte-for-byte: the spatial
+// index is a performance device, not a behavior switch (DESIGN.md §12).
+func TestRunIndexToggleIdenticalOutput(t *testing.T) {
+	trim := func(t *testing.T, s string) string {
+		t.Helper()
+		i := strings.LastIndex(s, "\ntotal wall time")
+		if i < 0 {
+			t.Fatalf("output missing wall-time trailer:\n%s", s)
+		}
+		return s[:i]
+	}
+	var grid, scan bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-fig", "scale", "-index", "grid"}, &grid); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-quick", "-fig", "scale", "-index", "scan"}, &scan); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := trim(t, scan.String()), trim(t, grid.String()); got != want {
+		t.Errorf("-index scan output differs from grid:\n--- grid ---\n%s\n--- scan ---\n%s", want, got)
+	}
+}
+
+func TestRunRejectsBadIndex(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-quick", "-fig", "scale", "-index", "quadtree"}, &buf)
+	if err == nil {
+		t.Fatal("bad -index value accepted")
+	}
+	if !strings.Contains(err.Error(), "quadtree") {
+		t.Errorf("error does not name the bad index: %v", err)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(context.Background(), []string{"-bogus"}, &buf); err == nil {

@@ -469,6 +469,31 @@ func RunReplication(opts ExperimentOptions, seeds int) (Replication, error) {
 	return scenario.RunReplication(context.Background(), opts, seeds)
 }
 
+// ScaleRow is one team size's outcome in the swarm-scale sweep.
+type ScaleRow = scenario.ScaleRow
+
+// ScaleSizes returns the swarm sweep's team sizes.
+func ScaleSizes() []int {
+	return append([]int(nil), scenario.ScaleSizes...)
+}
+
+// SwarmConfig builds a constant-density swarm deployment of n robots
+// (DESIGN.md §12): the area grows with the team, transmit power drops so
+// the neighborhood stays local, and the EKF backend keeps per-beacon cost
+// independent of the area.
+func SwarmConfig(n int) Config {
+	return scenario.SwarmConfig(n)
+}
+
+// RunScale sweeps SwarmConfig over the swarm sizes.
+//
+// Deprecated: Use the Experiments registry — find the Descriptor by
+// Name and call its Run(ctx, opts) — or the scenario runner behind it;
+// this wrapper always runs with context.Background().
+func RunScale(opts ExperimentOptions) ([]ScaleRow, error) {
+	return scenario.RunScale(context.Background(), opts)
+}
+
 // ReportingRow measures the controller-reporting data path.
 type ReportingRow = scenario.ReportingRow
 

@@ -183,6 +183,17 @@ type Config struct {
 	// degrades SYNC dissemination to plain ODMRP) for the ablation.
 	MRMMPruning bool
 
+	// NeighborIndex selects how the MAC medium finds each frame's
+	// candidate receivers: "grid" (also the "" default) buckets stations
+	// in a uniform spatial hash sized from the radio's plausibility
+	// radius, so swarm-scale teams pay per-frame cost proportional to the
+	// local neighborhood instead of the team size; "scan" forces the O(n)
+	// reference path. The team re-indexes positions every sampling tick
+	// and detaches crashed or powered-off robots, so results are
+	// byte-identical under either setting (see DESIGN.md §12) — the index
+	// is strictly a performance device.
+	NeighborIndex string
+
 	// UpdateWorkers bounds the worker pool that fans per-robot grid
 	// updates within a single run. Per-robot localizer state is disjoint
 	// and each robot's queued beacons are applied in arrival order by one
@@ -304,6 +315,8 @@ func (c Config) Validate() error {
 		return configErrorf("TerrainCellM", "must be positive with terrain enabled")
 	case c.UpdateWorkers < 0:
 		return configErrorf("UpdateWorkers", "negative UpdateWorkers")
+	case c.NeighborIndex != "" && c.NeighborIndex != "grid" && c.NeighborIndex != "scan":
+		return configErrorf("NeighborIndex", "%q must be \"grid\" or \"scan\"", c.NeighborIndex)
 	}
 	if err := c.Radio.Validate(); err != nil {
 		return &ConfigError{Field: "Radio", Reason: err.Error()}

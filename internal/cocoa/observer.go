@@ -75,7 +75,9 @@ func (t *Team) emitSimple(kind EventKind, robot int) {
 }
 
 // failRobot powers a robot off mid-run: it stops beaconing, forwarding,
-// and moving (a dead robot in the rubble). Localization state freezes.
+// and moving (a dead robot in the rubble). Localization state freezes. The
+// medium detaches the robot entirely: a dead radio is not a receiver, so
+// the MAC neither visits nor counts it for the rest of the run.
 func (t *Team) failRobot(now sim.Time, r *robot) {
 	if r.failed {
 		return
@@ -83,6 +85,7 @@ func (t *Team) failRobot(now sim.Time, r *robot) {
 	r.failed = true
 	r.way.HoldUntil(now, t.cfg.DurationS+1)
 	r.nic.PowerOff()
+	t.med.Detach(r.id)
 	t.emitSimple(EventFailure, r.id)
 }
 
@@ -97,6 +100,10 @@ func (t *Team) crashRobot(r *robot) {
 	t.crashes++
 	telCrashes.Inc()
 	r.nic.PowerOff()
+	// Compaction: a crashed radio is detached from the medium so surviving
+	// robots' frames stop paying (and stop drawing per-receiver noise for)
+	// a station that cannot receive. Recovery re-attaches it.
+	t.med.Detach(r.id)
 	t.emitSimple(EventCrash, r.id)
 }
 
@@ -109,6 +116,7 @@ func (t *Team) recoverRobot(r *robot) {
 	}
 	r.crashed = false
 	telRecoveries.Inc()
+	t.med.Attach(r.id, r.nic)
 	r.nic.Wake()
 	t.emitSimple(EventRecover, r.id)
 }

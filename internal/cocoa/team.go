@@ -94,7 +94,16 @@ func NewTeam(cfg Config) (*Team, error) {
 	root := sim.NewRNG(cfg.Seed)
 	s := sim.New()
 
-	med, err := mac.NewMedium(s, mac.DefaultConfig(cfg.Radio), root.Stream("mac"))
+	macCfg := mac.DefaultConfig(cfg.Radio)
+	if cfg.NeighborIndex != "scan" {
+		// Spatial neighbor index (the default): stepRobots re-indexes every
+		// position once per sampling tick, so no station ever drifts more
+		// than VMax * SampleIntervalS from its bucketed position — the
+		// slack that keeps the indexed medium byte-identical to the scan.
+		macCfg.NeighborIndex = mac.IndexGrid
+		macCfg.IndexSlackM = cfg.VMax * float64(cfg.SampleIntervalS)
+	}
+	med, err := mac.NewMedium(s, macCfg, root.Stream("mac"))
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +369,9 @@ func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 			return
 		}
 		t.stepRobots(now, dt)
+		// Refresh the MAC's spatial index with the tick's new positions
+		// (no-op under the scan path; consumes no randomness either way).
+		t.med.UpdatePositions()
 		t.sample(res, now)
 	})
 

@@ -1,0 +1,139 @@
+package mac
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"cocoa/internal/geom"
+)
+
+// refCoord is the test oracle's independent copy of the cell-coordinate
+// mapping (floor at the cell side, clamped so the conversion is defined).
+func refCoord(v, cellM float64) int64 {
+	c := math.Floor(v / cellM)
+	if !(c >= -maxCellCoord) {
+		return -maxCellCoord
+	}
+	if c > maxCellCoord {
+		return maxCellCoord
+	}
+	return int64(c)
+}
+
+// FuzzGridIndex churns a grid index with inserts, bounded and unbounded
+// moves, removals, and queries, cross-checking every query against the O(n)
+// reference: scan all stations, keep those whose indexed cell lies in the
+// 3x3 neighborhood, sort ascending by ID. The index must return exactly
+// that set in exactly that order — the property the MAC's byte-for-byte
+// equivalence rests on.
+func FuzzGridIndex(f *testing.F) {
+	// Seeds: plain churn, cell-boundary walking, negative coordinates,
+	// clamp-range extremes, and remove/re-insert cycling.
+	f.Add([]byte{0, 1, 10, 10, 3, 1, 0, 0})
+	f.Add([]byte{0, 1, 255, 255, 0, 2, 1, 1, 1, 2, 128, 0, 3, 0, 255, 255})
+	f.Add([]byte{0, 5, 0, 0, 1, 5, 0, 1, 1, 5, 1, 0, 3, 5, 0, 0, 2, 5, 0, 0, 3, 5, 0, 0})
+	f.Add([]byte{0, 9, 254, 254, 0, 8, 2, 2, 3, 9, 254, 254, 3, 8, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const cellM = 50.0
+		g := newGridIndex(cellM)
+
+		// Shadow model: id -> the position the station was last indexed at.
+		type shadow struct {
+			st  *station
+			pos geom.Vec2
+		}
+		live := map[int]*shadow{}
+
+		// decode maps two bytes to a coordinate. 255 selects an extreme
+		// value beyond the clamp range; 254 a far negative one; everything
+		// else spans a few dozen cells around the origin, densely enough
+		// that boundary crossings and shared buckets both happen.
+		decode := func(b byte) float64 {
+			switch b {
+			case 255:
+				return 1e300
+			case 254:
+				return -1e300
+			default:
+				return (float64(b) - 100) * cellM / 7
+			}
+		}
+
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 4
+			id := int(data[i+1] % 32)
+			p := geom.Vec2{X: decode(data[i+2]), Y: decode(data[i+3])}
+			switch op {
+			case 0: // insert (fresh ids only; the Medium replaces via remove+insert)
+				if _, ok := live[id]; ok {
+					continue
+				}
+				ep := &fakeEndpoint{pos: p, listening: true}
+				st := &station{id: id, ep: ep}
+				g.insert(st)
+				live[id] = &shadow{st: st, pos: p}
+			case 1: // move + re-bucket
+				sh, ok := live[id]
+				if !ok {
+					continue
+				}
+				sh.st.ep.(*fakeEndpoint).pos = p
+				g.update(sh.st)
+				sh.pos = p
+			case 2: // remove
+				sh, ok := live[id]
+				if !ok {
+					continue
+				}
+				g.remove(sh.st)
+				delete(live, id)
+			case 3: // query: differential check against the O(n) scan
+				got := g.collect(p)
+				kx, ky := refCoord(p.X, cellM), refCoord(p.Y, cellM)
+				var want []int
+				for wid, sh := range live {
+					sx, sy := refCoord(sh.pos.X, cellM), refCoord(sh.pos.Y, cellM)
+					dx, dy := sx-kx, sy-ky
+					if dx >= -1 && dx <= 1 && dy >= -1 && dy <= 1 {
+						want = append(want, wid)
+					}
+				}
+				sort.Ints(want)
+				if len(got) != len(want) {
+					t.Fatalf("query %v: got %d candidates, want %d", p, len(got), len(want))
+				}
+				for j, st := range got {
+					if st.id != want[j] {
+						t.Fatalf("query %v: candidate %d is id %d, want %d (order or set mismatch)",
+							p, j, st.id, want[j])
+					}
+				}
+			}
+		}
+
+		// Structural invariant after the churn: every live station is
+		// bucketed exactly once, under the key of its last indexed position.
+		seen := map[int]int{}
+		g.cells.forEach(func(key gridKey, b []*station) {
+			for _, st := range b {
+				seen[st.id]++
+				if st.key != key {
+					t.Fatalf("station %d bucketed under %v but keyed %v", st.id, key, st.key)
+				}
+			}
+		})
+		for id, sh := range live {
+			wantKey := gridKey{refCoord(sh.pos.X, cellM), refCoord(sh.pos.Y, cellM)}
+			if seen[id] != 1 {
+				t.Fatalf("station %d bucketed %d times", id, seen[id])
+			}
+			if sh.st.key != wantKey {
+				t.Fatalf("station %d keyed %v, want %v", id, sh.st.key, wantKey)
+			}
+		}
+		if len(seen) != len(live) {
+			t.Fatalf("%d stations bucketed, %d live", len(seen), len(live))
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package mac
+
+import (
+	"math"
+	"slices"
+
+	"cocoa/internal/geom"
+)
+
+// This file implements the medium's optional spatial neighbor index: a
+// uniform grid over station positions (and over in-flight transmission
+// origins) that lets transmit and carrierBusy visit only the stations that
+// can possibly matter, instead of every attached station.
+//
+// Correctness contract (the reason the index can be byte-identical to the
+// O(n) scan, see DESIGN.md §12):
+//
+//   - The cell side is max(senseFar, plausFar) + Config.IndexSlackM, where
+//     senseFar/plausFar are the PR 3 rssiGate far brackets. Any two points
+//     in non-adjacent cells are at least one full cell side apart, so every
+//     station outside the 3x3 neighborhood of a transmitter is — even after
+//     drifting up to IndexSlackM from its indexed position — beyond
+//     plausFar, exactly the population the scan path bulk-skips without
+//     drawing noise. The candidates inside the 3x3 neighborhood are a
+//     superset of all stations the scan would actually sample.
+//   - Candidates are visited in ascending station ID, the same order the
+//     scan uses, so the per-receiver draws from the MAC RNG stream land on
+//     the same receivers in the same order.
+//   - carrierBusy needs only transmissions whose mean signal can reach
+//     sensitivity (distance < senseFar <= cell side); transmissions are
+//     bucketed by their frozen origin, so the same 3x3 query is complete.
+//     The station's own in-flight transmissions are tracked separately
+//     (station.own) because the scan reports them busy at any distance.
+
+// gridKey addresses one cell of the uniform spatial grid.
+type gridKey struct{ x, y int64 }
+
+// maxCellCoord clamps cell coordinates so float->int conversion is always
+// defined. Positions this far out (≥ 2^40 cell sides) collapse onto the
+// boundary cell; merging cells only ever widens a 3x3 candidate set, so the
+// superset property survives the clamp.
+const maxCellCoord = 1 << 40
+
+// denseSpanCap bounds each axis of a bucketGrid's dense window. A bounded
+// deployment arena spans a few dozen cells, so the window comfortably holds
+// every real position; adversarial coordinates (fuzzing, the clamp above)
+// fall through to the overflow map instead of growing the array.
+const denseSpanCap = 256
+
+// bucketGrid stores per-cell buckets with two tiers: a dense row-major
+// window covering the cells actually observed (grown on demand, the hot
+// path is a bounds check plus an array load), and an overflow hash map for
+// cells outside a cap-bounded window. Transmit-path queries probe 9 cells
+// per frame, so avoiding a hash per probe is what makes the index cheap.
+type bucketGrid[T any] struct {
+	haveWin    bool
+	minX, minY int64
+	w, h       int64
+	dense      [][]T
+	overflow   map[gridKey][]T
+}
+
+// get returns the bucket for k (nil when empty).
+func (bg *bucketGrid[T]) get(k gridKey) []T {
+	x, y := k.x-bg.minX, k.y-bg.minY
+	if bg.haveWin && x >= 0 && x < bg.w && y >= 0 && y < bg.h {
+		return bg.dense[y*bg.w+x]
+	}
+	if bg.overflow == nil {
+		return nil
+	}
+	return bg.overflow[k]
+}
+
+// put replaces the bucket for k, growing the dense window to include k when
+// the resulting span stays within denseSpanCap per axis.
+func (bg *bucketGrid[T]) put(k gridKey, b []T) {
+	x, y := k.x-bg.minX, k.y-bg.minY
+	if bg.haveWin && x >= 0 && x < bg.w && y >= 0 && y < bg.h {
+		bg.dense[y*bg.w+x] = b
+		return
+	}
+	if len(b) == 0 {
+		// Clearing a cell that was never dense: it can only live in the
+		// overflow map.
+		if bg.overflow != nil {
+			delete(bg.overflow, k)
+		}
+		return
+	}
+	if bg.grow(k) {
+		bg.dense[(k.y-bg.minY)*bg.w+(k.x-bg.minX)] = b
+		return
+	}
+	if bg.overflow == nil {
+		bg.overflow = make(map[gridKey][]T)
+	}
+	bg.overflow[k] = b
+}
+
+// forEach calls fn for every non-empty bucket, dense window first.
+func (bg *bucketGrid[T]) forEach(fn func(gridKey, []T)) {
+	for i, b := range bg.dense {
+		if len(b) > 0 {
+			fn(gridKey{bg.minX + int64(i)%bg.w, bg.minY + int64(i)/bg.w}, b)
+		}
+	}
+	for k, b := range bg.overflow {
+		if len(b) > 0 {
+			fn(k, b)
+		}
+	}
+}
+
+// grow widens the dense window to include k, reporting whether it could.
+// Growth copies bucket headers only and adds a margin on the growing side,
+// so stations drifting across the arena trigger O(1) amortized copies.
+func (bg *bucketGrid[T]) grow(k gridKey) bool {
+	const margin = 4
+	minX, minY, maxX, maxY := k.x, k.y, k.x, k.y
+	if bg.haveWin {
+		minX = min(minX, bg.minX)
+		minY = min(minY, bg.minY)
+		maxX = max(maxX, bg.minX+bg.w-1)
+		maxY = max(maxY, bg.minY+bg.h-1)
+	}
+	if k.x < bg.minX || !bg.haveWin {
+		minX -= margin
+	}
+	if k.y < bg.minY || !bg.haveWin {
+		minY -= margin
+	}
+	if !bg.haveWin || k.x >= bg.minX+bg.w {
+		maxX += margin
+	}
+	if !bg.haveWin || k.y >= bg.minY+bg.h {
+		maxY += margin
+	}
+	w, h := maxX-minX+1, maxY-minY+1
+	if w > denseSpanCap || h > denseSpanCap {
+		return false
+	}
+	dense := make([][]T, w*h)
+	if bg.haveWin {
+		for y := int64(0); y < bg.h; y++ {
+			copy(dense[(y+bg.minY-minY)*w+(bg.minX-minX):], bg.dense[y*bg.w:(y+1)*bg.w])
+		}
+	}
+	bg.haveWin, bg.minX, bg.minY, bg.w, bg.h, bg.dense = true, minX, minY, w, h, dense
+	// Newly covered cells may already have overflow buckets: migrate them.
+	for ok, ob := range bg.overflow {
+		x, y := ok.x-minX, ok.y-minY
+		if x >= 0 && x < w && y >= 0 && y < h {
+			dense[y*w+x] = ob
+			delete(bg.overflow, ok)
+		}
+	}
+	return true
+}
+
+// gridIndex is the uniform spatial index over stations and in-flight
+// transmissions. Station buckets are kept sorted ascending by ID
+// (order-preserving insert and remove), so collect can merge the 3x3
+// neighborhood's buckets instead of re-sorting candidates every frame.
+type gridIndex struct {
+	cellM float64 // cell side length in meters
+	inv   float64 // 1 / cellM
+	// cells buckets attached stations by their last indexed position;
+	// txCells buckets in-flight transmissions by their frozen origin.
+	cells   bucketGrid[*station]
+	txCells bucketGrid[*transmission]
+	cand    []*station // scratch buffer reused across collect calls
+}
+
+func newGridIndex(cellM float64) *gridIndex {
+	return &gridIndex{cellM: cellM, inv: 1 / cellM}
+}
+
+// coord maps one coordinate to its cell index, clamped to the defined range.
+func (g *gridIndex) coord(v float64) int64 {
+	c := math.Floor(v * g.inv)
+	if !(c >= -maxCellCoord) { // also catches NaN
+		return -maxCellCoord
+	}
+	if c > maxCellCoord {
+		return maxCellCoord
+	}
+	return int64(c)
+}
+
+func (g *gridIndex) keyOf(p geom.Vec2) gridKey {
+	return gridKey{g.coord(p.X), g.coord(p.Y)}
+}
+
+// bucketInsert adds st to the bucket for key, keeping it ID-sorted.
+func (g *gridIndex) bucketInsert(key gridKey, st *station) {
+	b := g.cells.get(key)
+	i, _ := slices.BinarySearchFunc(b, st.id, func(s *station, id int) int { return s.id - id })
+	g.cells.put(key, slices.Insert(b, i, st))
+}
+
+// insert buckets st at its current endpoint position.
+func (g *gridIndex) insert(st *station) {
+	st.key = g.keyOf(st.ep.Position())
+	st.gridded = true
+	g.bucketInsert(st.key, st)
+}
+
+// remove unbuckets st, preserving the bucket's ID order; a station not in
+// the grid is left alone.
+func (g *gridIndex) remove(st *station) {
+	if !st.gridded {
+		return
+	}
+	st.gridded = false
+	b := g.cells.get(st.key)
+	for i, s := range b {
+		if s == st {
+			g.cells.put(st.key, slices.Delete(b, i, i+1))
+			return
+		}
+	}
+}
+
+// update re-buckets st at its current endpoint position, reporting whether
+// it changed cells.
+func (g *gridIndex) update(st *station) bool {
+	if !st.gridded {
+		return false
+	}
+	key := g.keyOf(st.ep.Position())
+	if key == st.key {
+		return false
+	}
+	g.remove(st)
+	st.key = key
+	st.gridded = true
+	g.bucketInsert(key, st)
+	return true
+}
+
+// collect gathers every station bucketed in the 3x3 cell neighborhood of p,
+// sorted ascending by ID — the same visit order the O(n) scan uses. Each
+// bucket is already ID-sorted, so the neighborhood is assembled by a 9-way
+// merge: no comparator calls, no per-transmission sort. The returned slice
+// is scratch memory owned by the index, valid until the next collect call.
+func (g *gridIndex) collect(p geom.Vec2) []*station {
+	g.cand = g.cand[:0]
+	k := g.keyOf(p)
+	// heads caches each run's front ID so the min-scan compares a small
+	// stack array instead of dereferencing scattered stations every step.
+	var runs [9][]*station
+	var heads [9]int
+	n := 0
+	for dy := int64(-1); dy <= 1; dy++ {
+		for dx := int64(-1); dx <= 1; dx++ {
+			if b := g.cells.get(gridKey{k.x + dx, k.y + dy}); len(b) > 0 {
+				runs[n] = b
+				heads[n] = b[0].id
+				n++
+			}
+		}
+	}
+	for n > 1 {
+		best := 0
+		for i := 1; i < n; i++ {
+			if heads[i] < heads[best] {
+				best = i
+			}
+		}
+		r := runs[best]
+		g.cand = append(g.cand, r[0])
+		if len(r) > 1 {
+			runs[best] = r[1:]
+			heads[best] = r[1].id
+		} else {
+			n--
+			runs[best] = runs[n]
+			heads[best] = heads[n]
+			runs[n] = nil
+		}
+	}
+	if n == 1 {
+		g.cand = append(g.cand, runs[0]...)
+	}
+	return g.cand
+}
+
+// addTx buckets an in-flight transmission by its frozen origin.
+func (g *gridIndex) addTx(tx *transmission) {
+	tx.cell = g.keyOf(tx.pos)
+	g.txCells.put(tx.cell, append(g.txCells.get(tx.cell), tx))
+}
+
+// removeTx unbuckets a reaped transmission.
+func (g *gridIndex) removeTx(tx *transmission) {
+	b := g.txCells.get(tx.cell)
+	for i, t := range b {
+		if t == tx {
+			b[i] = b[len(b)-1]
+			b[len(b)-1] = nil
+			g.txCells.put(tx.cell, b[:len(b)-1])
+			return
+		}
+	}
+}

@@ -37,6 +37,19 @@ var (
 	telGateSkips  = telemetry.Default.Counter("mac.rssi_gate_skips")
 	telPoolHits   = telemetry.Default.Counter("mac.pool_hits")
 	telPoolMisses = telemetry.Default.Counter("mac.pool_misses")
+	// mac.receiver_visits counts stations individually examined per frame
+	// (the per-receiver loop body). With the spatial index enabled only the
+	// 3x3-neighborhood candidates are visited, so this counter — not wall
+	// time — is the deterministic measure of what the index saves.
+	telVisits = telemetry.Default.Counter("mac.receiver_visits")
+	// Spatial-index instruments (all zero under IndexScan). These counters
+	// depend on which index is configured, so they are exempt from the
+	// index-on/off telemetry-equality contract the mac.* counters above obey.
+	telIndexCells   = telemetry.Default.Counter("mac.index_cells_scanned")
+	telIndexCands   = telemetry.Default.Counter("mac.index_candidates")
+	telIndexSkips   = telemetry.Default.Counter("mac.index_bulk_skips")
+	telIndexMoves   = telemetry.Default.Counter("mac.index_moves")
+	telIndexRebuild = telemetry.Default.Counter("mac.index_rebuilds")
 )
 
 // Frame is a broadcast MAC frame. Payload is opaque to the MAC.
@@ -65,6 +78,25 @@ type Endpoint interface {
 	Deliver(f Frame, rssiDBm float64)
 }
 
+// NeighborIndex selects the medium's receiver-candidate strategy.
+type NeighborIndex int
+
+const (
+	// IndexScan examines every attached station for every frame — the O(n)
+	// reference path. It needs no position maintenance and is the zero
+	// value, so existing Medium users keep their exact behavior.
+	IndexScan NeighborIndex = iota
+	// IndexGrid buckets stations in a uniform spatial hash sized from the
+	// radio model's far gate brackets, so each frame visits only the 3x3
+	// cell neighborhood of its transmitter. Results are byte-identical to
+	// IndexScan provided callers keep the index fresh: after stations move,
+	// UpdatePositions (or UpdatePosition) must run before no station has
+	// drifted more than Config.IndexSlackM from its last indexed position.
+	// Radio models whose far brackets are unbounded fall back to the scan
+	// silently (every station is always a candidate there anyway).
+	IndexGrid
+)
+
 // Config holds MAC-layer parameters.
 type Config struct {
 	Model radio.Model
@@ -79,6 +111,13 @@ type Config struct {
 	OverheadBytes int
 	// PreambleS is the fixed PLCP preamble time prepended to each frame.
 	PreambleS sim.Time
+	// NeighborIndex selects how transmit and carrierBusy find candidate
+	// stations; the zero value is the brute-force scan.
+	NeighborIndex NeighborIndex
+	// IndexSlackM widens the spatial hash cells by the maximum distance a
+	// station may move between position updates (IndexGrid only). Callers
+	// typically set it to max speed times their update interval.
+	IndexSlackM float64
 }
 
 // DefaultConfig returns 802.11b-like MAC parameters over the given radio
@@ -109,6 +148,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mac: MaxAttempts must be positive")
 	case c.OverheadBytes < 0 || c.PreambleS < 0:
 		return fmt.Errorf("mac: negative overhead")
+	case c.NeighborIndex < IndexScan || c.NeighborIndex > IndexGrid:
+		return fmt.Errorf("mac: unknown NeighborIndex %d", int(c.NeighborIndex))
+	case c.IndexSlackM < 0 || math.IsNaN(c.IndexSlackM) || math.IsInf(c.IndexSlackM, 0):
+		return fmt.Errorf("mac: IndexSlackM must be finite and non-negative")
 	}
 	return nil
 }
@@ -135,6 +178,9 @@ type transmission struct {
 	start sim.Time
 	end   sim.Time
 	pos   geom.Vec2
+	// cell is the spatial-hash bucket holding this transmission while it is
+	// in flight (IndexGrid only), keyed from the frozen pos.
+	cell gridKey
 	// recs lists the receptions in progress for this frame, in the order
 	// they began (ascending receiver ID). Every reception ends exactly at
 	// tx.end, so one end-of-frame event walks this list instead of each
@@ -156,6 +202,14 @@ type station struct {
 	id     int
 	ep     Endpoint
 	active []*reception // receptions in progress at this station
+	// Spatial-index state (IndexGrid only): the cell the station is
+	// bucketed in, whether it currently is bucketed, and its own in-flight
+	// transmissions — the scan path reports a station busy on its own
+	// transmission regardless of distance, so the indexed carrier sense
+	// checks these directly instead of relying on a cell query.
+	key     gridKey
+	gridded bool
+	own     []*transmission
 }
 
 // Medium is the shared broadcast channel all robots contend on.
@@ -183,6 +237,9 @@ type Medium struct {
 	// in distance.
 	senseNear2, senseFar2 float64
 	plausNear2, plausFar2 float64
+	// grid is the spatial neighbor index; nil selects the brute-force scan
+	// (IndexScan, or IndexGrid over a radio model with unbounded brackets).
+	grid *gridIndex
 }
 
 // NewMedium builds a medium over the given simulator. The RNG stream drives
@@ -207,6 +264,18 @@ func NewMedium(s *sim.Simulator, cfg Config, rng *sim.RNG) (*Medium, error) {
 		cfg.Model.MeanRSSI,
 		cfg.Model.DistanceForRSSI(plausDBm),
 		plausDBm)
+	if cfg.NeighborIndex == IndexGrid {
+		// Cell side: beyond max(senseFar, plausFar) the scan path treats a
+		// station identically to the bulk skip (transmit) or skips the
+		// transmission outright (carrierBusy), so a 3x3 neighborhood of
+		// cells this wide is a complete candidate set even after stations
+		// drift up to IndexSlackM between updates. Unbounded brackets mean
+		// nothing can ever be skipped; stay on the scan then.
+		far2 := math.Max(m.plausFar2, m.senseFar2)
+		if cell := math.Sqrt(far2) + cfg.IndexSlackM; !math.IsInf(cell, 1) && cell > 0 {
+			m.grid = newGridIndex(cell)
+		}
+	}
 	return m, nil
 }
 
@@ -248,6 +317,9 @@ func (m *Medium) Attach(id int, ep Endpoint) {
 				break
 			}
 		}
+		if m.grid != nil {
+			m.grid.remove(old)
+		}
 	} else {
 		pos := sort.Search(len(m.ordered), func(i int) bool { return m.ordered[i].id > id })
 		m.ordered = append(m.ordered, nil)
@@ -255,6 +327,59 @@ func (m *Medium) Attach(id int, ep Endpoint) {
 		m.ordered[pos] = st
 	}
 	m.stations[id] = st
+	if m.grid != nil {
+		m.grid.insert(st)
+	}
+}
+
+// Detach removes the endpoint registered under id from every candidate
+// structure: a detached station is never visited, counted, or charged again,
+// which is how crashed or powered-off robots stop costing per-frame work.
+// Receptions already in progress at the station still resolve at end of
+// frame (a dead radio drops them exactly as before). Unknown ids are a
+// no-op. Re-attaching the same id later restores the station as new.
+func (m *Medium) Detach(id int) {
+	st, ok := m.stations[id]
+	if !ok {
+		return
+	}
+	delete(m.stations, id)
+	i := sort.Search(len(m.ordered), func(i int) bool { return m.ordered[i].id >= id })
+	if i < len(m.ordered) && m.ordered[i] == st {
+		m.ordered = append(m.ordered[:i], m.ordered[i+1:]...)
+	}
+	if m.grid != nil {
+		m.grid.remove(st)
+	}
+}
+
+// UpdatePositions re-buckets every attached station at its current endpoint
+// position. Spatial-index users must call it (or UpdatePosition) often
+// enough that no station moves more than Config.IndexSlackM between
+// updates; under IndexScan it is a no-op. The sweep is deterministic
+// (ascending ID) and consumes no randomness, so calling it never perturbs a
+// run's results.
+func (m *Medium) UpdatePositions() {
+	if m.grid == nil {
+		return
+	}
+	telIndexRebuild.Inc()
+	for _, st := range m.ordered {
+		if m.grid.update(st) {
+			telIndexMoves.Inc()
+		}
+	}
+}
+
+// UpdatePosition re-buckets the single station registered under id; see
+// UpdatePositions. Unknown ids are a no-op.
+func (m *Medium) UpdatePosition(id int) {
+	if m.grid == nil {
+		return
+	}
+	if st, ok := m.stations[id]; ok && m.grid.update(st) {
+		telIndexMoves.Inc()
+	}
 }
 
 // Stats returns a copy of the MAC counters.
@@ -304,6 +429,9 @@ func (m *Medium) attempt(st *station, f Frame, attempt, cw int) {
 func (m *Medium) carrierBusy(st *station) bool {
 	now := m.sim.Now()
 	pos := st.ep.Position()
+	if m.grid != nil {
+		return m.carrierBusyGrid(st, pos, now)
+	}
 	for _, tx := range m.inflight {
 		if tx.end <= now {
 			continue
@@ -311,18 +439,53 @@ func (m *Medium) carrierBusy(st *station) bool {
 		if tx.from == st {
 			return true
 		}
-		d2 := pos.Dist2(tx.pos)
-		if d2 <= m.senseNear2 {
-			return true
-		}
-		if d2 >= m.senseFar2 {
-			continue
-		}
-		if m.cfg.Model.MeanRSSI(math.Sqrt(d2)) >= m.cfg.Model.SensitivityDBm {
+		if m.txAudible(pos, tx) {
 			return true
 		}
 	}
 	return false
+}
+
+// carrierBusyGrid is carrierBusy over the spatial index: the station's own
+// transmissions count at any distance (matching the scan's tx.from check),
+// and any other transmission loud enough to sense originates within
+// senseFar < cell side of the station, so the 3x3 neighborhood query sees
+// it. Both paths evaluate the same predicate over the same transmissions;
+// only the visit order differs, which a boolean OR cannot observe.
+func (m *Medium) carrierBusyGrid(st *station, pos geom.Vec2, now sim.Time) bool {
+	for _, tx := range st.own {
+		if tx.end > now {
+			return true
+		}
+	}
+	k := m.grid.keyOf(pos)
+	telIndexCells.Add(9)
+	for dy := int64(-1); dy <= 1; dy++ {
+		for dx := int64(-1); dx <= 1; dx++ {
+			for _, tx := range m.grid.txCells.get(gridKey{k.x + dx, k.y + dy}) {
+				if tx.end <= now || tx.from == st {
+					continue
+				}
+				if m.txAudible(pos, tx) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// txAudible reports whether tx's mean signal at pos reaches the carrier
+// sensitivity, through the PR 3 squared-distance gates.
+func (m *Medium) txAudible(pos geom.Vec2, tx *transmission) bool {
+	d2 := pos.Dist2(tx.pos)
+	if d2 <= m.senseNear2 {
+		return true
+	}
+	if d2 >= m.senseFar2 {
+		return false
+	}
+	return m.cfg.Model.MeanRSSI(math.Sqrt(d2)) >= m.cfg.Model.SensitivityDBm
 }
 
 // transmit puts the frame on the air and schedules per-receiver outcomes.
@@ -333,6 +496,10 @@ func (m *Medium) transmit(st *station, f Frame) {
 	tx := m.newTransmission()
 	tx.frame, tx.from, tx.start, tx.end, tx.pos = f, st, now, now+dur, st.ep.Position()
 	m.inflight = append(m.inflight, tx)
+	if m.grid != nil {
+		m.grid.addTx(tx)
+		st.own = append(st.own, tx)
+	}
 	m.stats.Sent++
 	telSent.Inc()
 	m.stats.BytesOnAir += totalBytes
@@ -345,7 +512,32 @@ func (m *Medium) transmit(st *station, f Frame) {
 		m.finishReceptions(tx)
 	})
 
-	for _, rcv := range m.ordered {
+	if m.grid == nil {
+		for _, rcv := range m.ordered {
+			if rcv == st {
+				continue
+			}
+			m.beginReception(rcv, tx)
+		}
+		return
+	}
+
+	// Indexed path. Everything outside the 3x3 neighborhood is provably
+	// beyond the plausibility gate, so it takes the same BelowSense branch
+	// the scan's per-station loop would — in bulk, without being visited.
+	// The candidates (a superset of every station the scan would sample,
+	// including the transmitter itself when attached) then run the ordinary
+	// per-station decision in the same ascending-ID order as the scan.
+	cands := m.grid.collect(tx.pos)
+	telIndexCells.Add(9)
+	telIndexCands.Add(int64(len(cands)))
+	if skipped := len(m.ordered) - len(cands); skipped > 0 {
+		m.stats.BelowSense += skipped
+		telBelowSense.Add(int64(skipped))
+		telGateSkips.Add(int64(skipped))
+		telIndexSkips.Add(int64(skipped))
+	}
+	for _, rcv := range cands {
 		if rcv == st {
 			continue
 		}
@@ -357,6 +549,7 @@ func (m *Medium) transmit(st *station, f Frame) {
 // survive the begin-of-frame checks are resolved by finishReceptions when
 // the frame leaves the air.
 func (m *Medium) beginReception(rcv *station, tx *transmission) {
+	telVisits.Inc()
 	// Hard out-of-range cutoff: when even a +5-sigma fluctuation cannot
 	// reach sensitivity, skip the receiver without drawing noise.
 	d2 := rcv.ep.Position().Dist2(tx.pos)
@@ -476,8 +669,21 @@ func (s *station) removeReception(r *reception) {
 	}
 }
 
-// reap removes a completed transmission from the in-flight list.
+// reap removes a completed transmission from the in-flight list and, with
+// the spatial index enabled, from its cell bucket and its sender's own list.
 func (m *Medium) reap(tx *transmission) {
+	if m.grid != nil {
+		m.grid.removeTx(tx)
+		own := tx.from.own
+		for i, t := range own {
+			if t == tx {
+				own[i] = own[len(own)-1]
+				own[len(own)-1] = nil
+				tx.from.own = own[:len(own)-1]
+				break
+			}
+		}
+	}
 	for i, t := range m.inflight {
 		if t == tx {
 			m.inflight = append(m.inflight[:i], m.inflight[i+1:]...)

@@ -54,12 +54,22 @@ func (c Config) Validate() error {
 // Waypoint is one robot's movement process. It is advanced lazily: callers
 // ask for the position at a virtual time and the model replays any leg
 // completions and new commands in between. Times must be non-decreasing.
+//
+// Positions are computed analytically from the current leg's origin
+// (origin + direction * speed * elapsed), never accumulated across
+// queries, so the trajectory is a pure function of the RNG stream and the
+// query times' leg crossings: observing a robot's position at extra
+// instants cannot perturb where it later is, to the last bit. The MAC's
+// spatial index relies on this — it skips position queries for pruned
+// receivers, which must not change the robots' paths (DESIGN.md §12).
 type Waypoint struct {
 	cfg Config
 	rng *sim.RNG
 
 	pos       geom.Vec2
 	lastT     sim.Time
+	origin    geom.Vec2 // position when the current leg began
+	legT      sim.Time  // when the current leg began
 	dest      geom.Vec2
 	speed     float64
 	restUntil sim.Time
@@ -96,8 +106,11 @@ func (w *Waypoint) randomPoint() geom.Vec2 {
 	}
 }
 
-// newCommand issues the next random movement command.
+// newCommand issues the next random movement command, anchoring the new
+// leg at the robot's current position and time.
 func (w *Waypoint) newCommand() {
+	w.origin = w.pos
+	w.legT = w.lastT
 	w.dest = w.randomPoint()
 	w.speed = w.rng.Uniform(w.cfg.VMin, w.cfg.VMax)
 	w.resting = false
@@ -126,8 +139,10 @@ func (w *Waypoint) advance(now sim.Time) {
 			w.newCommand()
 			continue
 		}
-		d := w.pos.Dist(w.dest)
-		arrive := w.lastT + sim.Time(d/w.speed)
+		// The leg's arrival time depends only on its origin, destination,
+		// and speed — never on where along it the robot was last observed.
+		d := w.origin.Dist(w.dest)
+		arrive := w.legT + sim.Time(d/w.speed)
 		if arrive <= now {
 			w.pos = w.dest
 			w.lastT = arrive
@@ -140,14 +155,14 @@ func (w *Waypoint) advance(now sim.Time) {
 			}
 			continue
 		}
-		dt := now - w.lastT
-		// The unit vector reuses d: Dist and Len share the same radicand
-		// (negation is exact), so dividing by d here is bit-identical to
-		// Unit() and saves its second square root. d > 0 because d == 0
-		// would have taken the arrival branch above.
-		v := w.dest.Sub(w.pos)
+		// Mid-leg: recompute analytically from the leg constants. The unit
+		// vector reuses d: Dist and Len share the same radicand (negation
+		// is exact), so dividing by d here is bit-identical to Unit() and
+		// saves its second square root. d > 0 because d == 0 would have
+		// taken the arrival branch above.
+		v := w.dest.Sub(w.origin)
 		u := geom.Vec2{X: v.X / d, Y: v.Y / d}
-		w.pos = w.pos.Add(u.Scale(w.speed * dt))
+		w.pos = w.origin.Add(u.Scale(w.speed * (now - w.legT)))
 		w.lastT = now
 	}
 }
@@ -158,7 +173,7 @@ func (w *Waypoint) Velocity() geom.Vec2 {
 	if w.resting || w.pos == w.dest {
 		return geom.Vec2{}
 	}
-	return w.dest.Sub(w.pos).Unit().Scale(w.speed)
+	return w.dest.Sub(w.origin).Unit().Scale(w.speed)
 }
 
 // Heading returns the current movement heading in radians.

@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cocoa/internal/cocoa"
+	"cocoa/internal/telemetry"
+)
+
+// The spatial neighbor index (DESIGN.md §12) is a performance device with a
+// byte-identity contract: every experiment must produce the exact same
+// bytes whether the MAC finds receivers through the grid or the O(n)
+// reference scan, at any localizer worker count. This suite is the
+// contract's enforcement — it runs the whole registry under both settings
+// and fails on the first differing byte. make check runs it under -race,
+// which additionally exercises the index against concurrent grid workers.
+
+// equivOpts is the quick scale with index and worker count pinned.
+func equivOpts(index string, workers int) Options {
+	return Options{
+		Seed:               1,
+		DurationS:          300,
+		NumRobots:          12,
+		CalibrationSamples: 60000,
+		GridCellM:          4,
+		NeighborIndex:      index,
+		UpdateWorkers:      workers,
+		Parallelism:        1,
+	}
+}
+
+// TestIndexEquivalenceRegistry runs every registered experiment with the
+// grid index and with the reference scan, at UpdateWorkers 1 and 8, and
+// requires byte-identical JSON-marshaled results.
+func TestIndexEquivalenceRegistry(t *testing.T) {
+	for _, d := range Experiments() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			for _, workers := range []int{1, 8} {
+				marshal := func(index string) string {
+					res, err := d.Run(context.Background(), equivOpts(index, workers))
+					if err != nil {
+						t.Fatalf("index=%s workers=%d: %v", index, workers, err)
+					}
+					b, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return string(b)
+				}
+				grid := marshal("grid")
+				scan := marshal("scan")
+				if grid != scan {
+					t.Errorf("workers=%d: grid and scan results differ\ngrid: %.400s\nscan: %.400s",
+						workers, grid, scan)
+				}
+			}
+		})
+	}
+}
+
+// volatileCounter reports instruments that legitimately differ between the
+// two index settings or across scheduling: the index's own instruments,
+// per-receiver visit counts (pruning is the index's whole point), frame
+// pool hit rates (sync.Pool is GC-scheduling dependent), and process-level
+// runner/arena bookkeeping. Everything else is simulation-deterministic
+// and must match exactly.
+func volatileCounter(name string) bool {
+	for _, prefix := range []string{"mac.index_", "mac.pool_", "runner.", "serve."} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return name == "mac.receiver_visits" || name == "sim.arena_chunks"
+}
+
+// TestIndexEquivalenceTelemetry compares full telemetry snapshots of a
+// fault-injected run (crashes exercise Detach/re-Attach compaction) under
+// both index settings: every sim-deterministic counter must agree.
+func TestIndexEquivalenceTelemetry(t *testing.T) {
+	wasEnabled := telemetry.Default.Enabled()
+	defer telemetry.Default.SetEnabled(wasEnabled)
+	telemetry.Default.SetEnabled(true)
+
+	snap := func(index string) map[string]int64 {
+		cfg := QuickFamilies()["faults"]
+		cfg.NeighborIndex = index
+		before := telemetry.Default.Snapshot()
+		if _, err := cocoa.Run(cfg); err != nil {
+			t.Fatalf("index=%s: %v", index, err)
+		}
+		d := telemetry.Diff(before, telemetry.Default.Snapshot())
+		out := map[string]int64{}
+		for _, c := range d.Counters {
+			if !volatileCounter(c.Name) {
+				out[c.Name] = c.Value
+			}
+		}
+		return out
+	}
+
+	grid := snap("grid")
+	scan := snap("scan")
+	if !reflect.DeepEqual(grid, scan) {
+		for name, v := range grid {
+			if scan[name] != v {
+				t.Errorf("counter %s: grid=%d scan=%d", name, v, scan[name])
+			}
+		}
+		for name, v := range scan {
+			if _, ok := grid[name]; !ok {
+				t.Errorf("counter %s: grid=absent scan=%d", name, v)
+			}
+		}
+	}
+}
+
+// TestIndexEquivalenceHighCrash is the adversarial compaction case: half
+// the team crashing and recovering churns Detach/re-Attach constantly, the
+// regime where a stale grid bucket or a mis-ordered re-insertion would
+// surface. The full Result must still be byte-identical.
+func TestIndexEquivalenceHighCrash(t *testing.T) {
+	run := func(index string) string {
+		cfg := QuickFamilies()["faults"]
+		cfg.Faults.CrashFraction = 0.5
+		cfg.Faults.CrashMeanDownS = float64(cfg.BeaconPeriodS)
+		cfg.NeighborIndex = index
+		res, err := cocoa.Run(cfg)
+		if err != nil {
+			t.Fatalf("index=%s: %v", index, err)
+		}
+		// The Result embeds its Config; the index selector is the one field
+		// allowed (and required) to differ between the two runs.
+		res.Config.NeighborIndex = ""
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if grid, scan := run("grid"), run("scan"); grid != scan {
+		t.Error("high-crash run differs between grid and scan")
+	}
+}

@@ -118,6 +118,11 @@ var registry = []Descriptor{
 		Run:   func(ctx context.Context, o Options) (any, error) { return RunFaultSweep(ctx, o) },
 	},
 	{
+		Name: "scale", Flag: "scale",
+		Title: "Scale — swarm sweep at constant density (spatial MAC index)",
+		Run:   func(ctx context.Context, o Options) (any, error) { return RunScale(ctx, o) },
+	},
+	{
 		Name: "baseline", Flag: "baseline",
 		Title: "Baseline — CoCoA vs Cooperative Positioning (Kurazume et al.)",
 		Run:   func(ctx context.Context, o Options) (any, error) { return RunBaselineCoopPos(ctx, o) },
