@@ -27,6 +27,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEventlogRoundTrip -fuzztime=$(FUZZTIME) ./internal/eventlog
 	$(GO) test -run='^$$' -fuzz=FuzzTabulateAgreement -fuzztime=$(FUZZTIME) ./internal/caltable
 	$(GO) test -run='^$$' -fuzz=FuzzGridIndex -fuzztime=$(FUZZTIME) ./internal/mac
+	$(GO) test -run='^$$' -fuzz=FuzzGridStats -fuzztime=$(FUZZTIME) ./internal/bayes
 
 # cover prints per-package statement coverage; cover-check additionally
 # enforces the floors in coverage_floor.txt (see cmd/covergate). Floors
@@ -66,17 +67,18 @@ bench-smoke:
 
 # bench-json refreshes the checked-in benchmark trajectory
 # from a full -benchmem run; see README "Benchmark tracking" for the format.
-BENCHJSON_OUT ?= BENCH_PR7.json
+BENCHJSON_OUT ?= BENCH_PR8.json
 
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
 
 # bench-compare re-times just the headline benchmarks (root package) and
-# fails on a >25% ns/op regression against the checked-in baseline.
-BENCH_BASELINE ?= BENCH_PR3.json
+# fails on a >25% regression against the checked-in baseline — in ns/op,
+# and in B/op / allocs/op wherever the baseline carries -benchmem columns.
+BENCH_BASELINE ?= BENCH_PR7.json
 
 bench-compare:
-	$(GO) test -run='^$$' -bench='^(BenchmarkReplicationSerial|BenchmarkFig4OdometryOnly)$$' -benchmem . \
+	$(GO) test -run='^$$' -bench='^(BenchmarkReplicationSerial|BenchmarkFig4OdometryOnly|BenchmarkSwarmSim1000)$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE)
 
 clean:

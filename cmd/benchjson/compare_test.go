@@ -122,15 +122,117 @@ func TestCompareCustomThreshold(t *testing.T) {
 }
 
 // The default headline set must reference benchmarks that exist in the
-// checked-in baseline, or make check's gate would be vacuous.
+// checked-in baseline, or make check's gate would be vacuous. The memory
+// gate additionally needs the baseline's -benchmem columns to be present.
 func TestDefaultHeadlinesExistInCheckedInBaseline(t *testing.T) {
-	rep, err := readReport("../../BENCH_PR3.json")
+	rep, err := readReport("../../BENCH_PR7.json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range defaultHeadlines {
-		if _, ok := rep.Benchmarks[key]; !ok {
-			t.Errorf("default headline %s not in BENCH_PR3.json", key)
+		e, ok := rep.Benchmarks[key]
+		if !ok {
+			t.Errorf("default headline %s not in BENCH_PR7.json", key)
+			continue
 		}
+		if e.BytesPerOp == nil || e.AllocsPerOp == nil {
+			t.Errorf("default headline %s lacks -benchmem columns in BENCH_PR7.json", key)
+		}
+	}
+}
+
+// memLog fabricates a log line with the -benchmem columns.
+func memLog(pkg, name string, nsPerOp, bytesPerOp, allocsPerOp float64) string {
+	return fmt.Sprintf("pkg: %s\n%s-8   100   %.1f ns/op   %.0f B/op   %.0f allocs/op\n",
+		pkg, name, nsPerOp, bytesPerOp, allocsPerOp)
+}
+
+func memEntry(ns, bytes, allocs float64) Entry {
+	return Entry{Iterations: 100, NsPerOp: ns, BytesPerOp: &bytes, AllocsPerOp: &allocs}
+}
+
+// The memory gate: B/op and allocs/op regress independently of ns/op,
+// against their own -mem-threshold.
+func TestCompareMemGate(t *testing.T) {
+	const key = "cocoa.BenchmarkReplicationSerial"
+	cases := []struct {
+		name               string
+		base               Entry
+		curBytes, curAlloc float64
+		wantErr            string
+	}{
+		{"unchanged", memEntry(1000, 4096, 32), 4096, 32, ""},
+		{"improved", memEntry(1000, 4096, 32), 1024, 8, ""},
+		{"bytes within threshold", memEntry(1000, 4096, 32), 5000, 32, ""},
+		{"bytes at boundary", memEntry(1000, 4096, 32), 5120, 32, ""},
+		{"bytes regressed", memEntry(1000, 4096, 32), 6000, 32, "B/op"},
+		{"allocs regressed", memEntry(1000, 4096, 32), 4096, 41, "allocs/op"},
+		{"zero-alloc baseline stays clean", memEntry(1000, 0, 0), 0, 0, ""},
+		{"zero-alloc baseline gains allocs", memEntry(1000, 0, 0), 16, 1, "allocs/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := writeBaseline(t, map[string]Entry{key: tc.base})
+			log := memLog("cocoa", "BenchmarkReplicationSerial", 1000, tc.curBytes, tc.curAlloc)
+			var out strings.Builder
+			err := run([]string{"-compare", base, "-headline", key},
+				strings.NewReader(log), &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, out.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// -mem-threshold is independent of -threshold: a loose ns/op gate must not
+// loosen the memory gate, and vice versa.
+func TestCompareMemThresholdIndependent(t *testing.T) {
+	const key = "cocoa.BenchmarkReplicationSerial"
+	base := writeBaseline(t, map[string]Entry{key: memEntry(1000, 4096, 32)})
+	// +10% bytes: inside the default 25% but outside a 5% memory gate,
+	// while ns/op is unchanged.
+	log := memLog("cocoa", "BenchmarkReplicationSerial", 1000, 4506, 32)
+	var out strings.Builder
+	if err := run([]string{"-compare", base, "-headline", key},
+		strings.NewReader(log), &out); err != nil {
+		t.Errorf("+10%% bytes failed the default gate: %v", err)
+	}
+	err := run([]string{"-compare", base, "-headline", key, "-mem-threshold", "0.05"},
+		strings.NewReader(log), &out)
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Errorf("+10%% bytes passed a 5%% memory gate: %v", err)
+	}
+	// Tightening -threshold alone must not fail the unchanged ns/op.
+	if err := run([]string{"-compare", base, "-headline", key, "-threshold", "0.01"},
+		strings.NewReader(log), &out); err != nil {
+		t.Errorf("tight ns gate tripped on memory movement: %v", err)
+	}
+}
+
+// A baseline without -benchmem columns cannot gate memory (nothing to
+// compare against); a baseline *with* them makes the columns mandatory in
+// the current run — dropping -benchmem must not silently disable the gate.
+func TestCompareMemColumnsPresence(t *testing.T) {
+	const key = "cocoa.BenchmarkReplicationSerial"
+	var out strings.Builder
+
+	base := writeBaseline(t, map[string]Entry{key: {Iterations: 100, NsPerOp: 1000}})
+	log := memLog("cocoa", "BenchmarkReplicationSerial", 1000, 1<<30, 1<<20)
+	if err := run([]string{"-compare", base, "-headline", key},
+		strings.NewReader(log), &out); err != nil {
+		t.Errorf("mem-free baseline still gated memory: %v", err)
+	}
+
+	base = writeBaseline(t, map[string]Entry{key: memEntry(1000, 4096, 32)})
+	log = benchLog("cocoa", "BenchmarkReplicationSerial", 1000)
+	err := run([]string{"-compare", base, "-headline", key}, strings.NewReader(log), &out)
+	if err == nil || !strings.Contains(err.Error(), "missing from current run") {
+		t.Errorf("dropped -benchmem columns passed: %v", err)
 	}
 }

@@ -10,7 +10,10 @@
 //
 // Regression gate: -compare old.json checks the parsed (or -in) report's
 // headline benchmarks against a checked-in baseline and exits non-zero
-// when any regresses by more than -threshold (default 25%) in ns/op:
+// when any regresses by more than -threshold (default 25%) in ns/op, or by
+// more than -mem-threshold (default 25%) in B/op or allocs/op. The memory
+// gate applies wherever the baseline recorded -benchmem columns; a current
+// run missing them then fails rather than silently passing:
 //
 //	go test -bench=. -benchmem ./... | benchjson -compare BENCH_PR3.json
 //
@@ -68,6 +71,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	headline := fs.String("headline", strings.Join(defaultHeadlines, ","),
 		"comma-separated benchmark keys gated by -compare")
 	threshold := fs.Float64("threshold", 0.25, "allowed fractional ns/op increase before -compare fails")
+	memThreshold := fs.Float64("mem-threshold", 0.25,
+		"allowed fractional B/op or allocs/op increase before -compare fails")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,7 +100,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compareHeadlines(stdout, base, rep, splitHeadlines(*headline), *threshold)
+		return compareHeadlines(stdout, base, rep, splitHeadlines(*headline), *threshold, *memThreshold)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -111,12 +116,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 }
 
 // defaultHeadlines are the benchmarks the repo tracks PR-over-PR: the
-// serial replication run (the end-to-end hot path) and the odometry-only
-// figure (the cheapest full-stack workload). make check gates on these
-// against the checked-in baseline.
+// serial replication run (the end-to-end hot path), the odometry-only
+// figure (the cheapest full-stack workload), and the 1000-robot swarm tick
+// (the MAC/sampling scale stressor). make check gates on these against the
+// checked-in baseline.
 var defaultHeadlines = []string{
 	"cocoa.BenchmarkReplicationSerial",
 	"cocoa.BenchmarkFig4OdometryOnly",
+	"cocoa.BenchmarkSwarmSim1000/grid",
 }
 
 func splitHeadlines(s string) []string {
@@ -141,15 +148,38 @@ func readReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// compareHeadlines checks each named benchmark's ns/op in cur against
-// base and fails when any regressed beyond the threshold. A headline
-// missing from either side fails too — silently skipping a renamed or
-// deleted benchmark would defeat the gate.
-func compareHeadlines(w io.Writer, base, cur *Report, headlines []string, threshold float64) error {
+// compareHeadlines checks each named benchmark's ns/op — and, wherever the
+// baseline recorded -benchmem columns, its B/op and allocs/op — in cur
+// against base and fails when any regressed beyond its threshold. A
+// headline missing from either side fails too — silently skipping a
+// renamed or deleted benchmark would defeat the gate — and so does a
+// current run that dropped the memory columns the baseline has.
+func compareHeadlines(w io.Writer, base, cur *Report, headlines []string, threshold, memThreshold float64) error {
 	if len(headlines) == 0 {
 		return fmt.Errorf("-compare needs at least one -headline benchmark")
 	}
 	var failures []string
+	// gate prints one comparison row and appends a failure when the current
+	// value regressed past the allowed fraction. A zero baseline (common
+	// for allocs/op on allocation-free paths) admits only a zero current
+	// value: any ratio against it would be infinite.
+	gate := func(key, unit string, baseV, curV, allowed float64) {
+		ratio := 0.0
+		if baseV > 0 {
+			ratio = curV / baseV
+		} else if curV > 0 {
+			ratio = 1 + allowed + 1 // 0 -> nonzero: always a regression
+		} else {
+			ratio = 1
+		}
+		fmt.Fprintf(w, "benchjson: %-44s %12.0f -> %12.0f %s (%+.1f%%)\n",
+			key, baseV, curV, unit, 100*(ratio-1))
+		if ratio > 1+allowed {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f -> %.0f %s (+%.1f%% > %.0f%% allowed)",
+					key, baseV, curV, unit, 100*(ratio-1), 100*allowed))
+		}
+	}
 	for _, key := range headlines {
 		b, inBase := base.Benchmarks[key]
 		c, inCur := cur.Benchmarks[key]
@@ -164,13 +194,20 @@ func compareHeadlines(w io.Writer, base, cur *Report, headlines []string, thresh
 			failures = append(failures, fmt.Sprintf("%s: baseline ns/op %v unusable", key, b.NsPerOp))
 			continue
 		}
-		ratio := c.NsPerOp / b.NsPerOp
-		fmt.Fprintf(w, "benchjson: %-44s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
-			key, b.NsPerOp, c.NsPerOp, 100*(ratio-1))
-		if ratio > 1+threshold {
-			failures = append(failures,
-				fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%% > %.0f%% allowed)",
-					key, b.NsPerOp, c.NsPerOp, 100*(ratio-1), 100*threshold))
+		gate(key, "ns/op", b.NsPerOp, c.NsPerOp, threshold)
+		if b.BytesPerOp != nil {
+			if c.BytesPerOp == nil {
+				failures = append(failures, fmt.Sprintf("%s: B/op missing from current run (baseline has it; run with -benchmem)", key))
+			} else {
+				gate(key, "B/op", *b.BytesPerOp, *c.BytesPerOp, memThreshold)
+			}
+		}
+		if b.AllocsPerOp != nil {
+			if c.AllocsPerOp == nil {
+				failures = append(failures, fmt.Sprintf("%s: allocs/op missing from current run (baseline has it; run with -benchmem)", key))
+			} else {
+				gate(key, "allocs/op", *b.AllocsPerOp, *c.AllocsPerOp, memThreshold)
+			}
 		}
 	}
 	if len(failures) > 0 {

@@ -104,6 +104,29 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return icocoa.RunContext(ctx, cfg)
 }
 
+// Scratch is a reusable run slot: teams built through the same scratch
+// recycle the previous run's simulator, RNG streams, and belief grids
+// instead of reallocating them, with byte-identical results. See
+// NewTeamScratch and RunScratch.
+type Scratch = icocoa.Scratch
+
+// NewScratch returns an empty run slot for NewTeamScratch / RunScratch.
+func NewScratch() *Scratch { return icocoa.NewScratch() }
+
+// NewTeamScratch is NewTeam on a reusable run slot. Building a team on a
+// scratch invalidates the previous team built on the same scratch; a nil
+// scratch degenerates to NewTeam exactly.
+func NewTeamScratch(cfg Config, sc *Scratch) (*Team, error) {
+	return icocoa.NewTeamScratch(cfg, sc)
+}
+
+// RunScratch assembles and runs a deployment on a reusable run slot — the
+// replication-loop sibling of RunContext. Results are byte-identical to
+// RunContext(ctx, cfg); only the memory is recycled.
+func RunScratch(ctx context.Context, cfg Config, sc *Scratch) (*Result, error) {
+	return icocoa.RunScratch(ctx, cfg, sc)
+}
+
 // Config validation errors. Validate (and therefore NewTeam, Run,
 // RunContext) reports configuration problems as a *ConfigError wrapping
 // ErrInvalidConfig, so callers can branch with errors.Is and recover the

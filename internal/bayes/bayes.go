@@ -56,6 +56,7 @@ var (
 	telRenormTaken   = telemetry.Default.Counter("bayes.renorm_taken")
 	telRenormDefer   = telemetry.Default.Counter("bayes.renorm_deferred")
 	telCollapseReset = telemetry.Default.Counter("bayes.collapse_resets")
+	telStatsResum    = telemetry.Default.Counter("bayes.stats_resum")
 )
 
 // DistanceDensity is the consumer-side view of a calibrated distance PDF
@@ -88,6 +89,31 @@ const (
 	massRenormLow  = 1e-120
 )
 
+// StatsMode selects how the grid statistics readouts (Estimate, Entropy,
+// TotalProbability) are computed.
+type StatsMode int
+
+const (
+	// StatsIncremental reads running accumulators maintained in place by
+	// ApplyBeacon's per-cell writes and rescaled analytically by
+	// Renormalize, making the readouts O(touched cells) instead of
+	// O(nx·ny). A drift-bounded full re-sum backstop (every
+	// statsResumEvery beacons, counted by bayes.stats_resum) keeps the
+	// accumulators within 1e-9 of the eager scans.
+	StatsIncremental StatsMode = iota
+	// StatsEager recomputes every readout with a full-grid scan — the
+	// pre-incremental reference semantics, retained as the slow path the
+	// equivalence tests check the accumulators against.
+	StatsEager
+)
+
+// statsResumEvery is the drift bound: after this many ApplyBeacon calls the
+// next incremental moment readout re-sums the accumulators from the cells
+// (the same contract lazy normalization uses for mass). The floating-point
+// drift per beacon is ~1 ulp of the accumulator, so 64 beacons keep the
+// incremental readouts many orders of magnitude inside the 1e-9 budget.
+const statsResumEvery = 64
+
 // Grid is a discretized position belief over a rectangular area. Cells are
 // square with side CellSize. Internally the belief is unnormalized: p sums
 // to mass, not 1, and readouts normalize on demand.
@@ -97,10 +123,27 @@ type Grid struct {
 	nx, ny   int
 	p        []float64
 	// cx, cy are the precomputed cell-center coordinates, shared by
-	// ApplyBeacon, Estimate, and MAP.
-	cx, cy  []float64
-	mass    float64
-	beacons int
+	// ApplyBeacon, Estimate, and MAP; sumCx, sumCy are their totals, used
+	// for the closed-form uniform accumulators on Reset.
+	cx, cy       []float64
+	sumCx, sumCy float64
+	mass         float64
+	beacons      int
+
+	// Incremental statistics accumulators (StatsIncremental): the running
+	// cell sum and first moments, updated by ApplyBeacon's per-cell
+	// writes; statsOps counts beacons since the last full re-sum. The
+	// Σp·log p accumulator is maintained lazily — ApplyBeacon only marks
+	// it stale (per-cell logs would dominate the annulus loop), and
+	// Entropy re-sums on demand, after which Renormalize keeps it fresh
+	// analytically.
+	statsMode  StatsMode
+	sumP       float64 // running Σ p
+	sumX, sumY float64 // running Σ p·x, Σ p·y over cell centers
+	statsOps   int
+	plogp      float64 // Σ p·log p at the last entropy re-sum / rescale
+	plogpSum   float64 // Σ p over the same cells, for the entropy identity
+	plogpOK    bool
 }
 
 // NewGrid builds a uniform belief over the area with the given cell size
@@ -121,18 +164,28 @@ func NewGrid(area geom.Rect, cellSize float64) (*Grid, error) {
 	g.cx = make([]float64, nx)
 	for ix := range g.cx {
 		g.cx[ix] = area.Min.X + (float64(ix)+0.5)*cellSize
+		g.sumCx += g.cx[ix]
 	}
 	g.cy = make([]float64, ny)
 	for iy := range g.cy {
 		g.cy[iy] = area.Min.Y + (float64(iy)+0.5)*cellSize
+		g.sumCy += g.cy[iy]
 	}
 	g.Reset()
 	return g, nil
 }
 
+// SetStatsMode selects the statistics read path; see StatsMode. The grid
+// defaults to StatsIncremental.
+func (g *Grid) SetStatsMode(m StatsMode) { g.statsMode = m }
+
+// StatsModeOf returns the grid's current statistics mode.
+func (g *Grid) StatsModeOf() StatsMode { return g.statsMode }
+
 // Reset returns the belief to uniform — the paper's initial estimate: "in
 // the beginning, a robot is equally likely to be in any position in the
-// deployment area". The beacon counter is cleared.
+// deployment area". The beacon counter is cleared and the statistics
+// accumulators take their closed-form uniform values.
 func (g *Grid) Reset() {
 	u := 1 / float64(len(g.p))
 	for i := range g.p {
@@ -140,6 +193,16 @@ func (g *Grid) Reset() {
 	}
 	g.mass = 1
 	g.beacons = 0
+
+	// Uniform closed forms: Σp = N·u, Σp·x = u·ny·Σcx (each column center
+	// appears ny times), and Σp·log p = Σp·log u.
+	g.sumP = float64(len(g.p)) * u
+	g.sumX = u * float64(g.ny) * g.sumCx
+	g.sumY = u * float64(g.nx) * g.sumCy
+	g.statsOps = 0
+	g.plogpSum = g.sumP
+	g.plogp = g.sumP * math.Log(u)
+	g.plogpOK = true
 }
 
 // Dims returns the grid dimensions in cells.
@@ -217,13 +280,18 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 	bx, by := beaconPos.X, beaconPos.Y
 	minX := g.area.Min.X
 	bounded := !math.IsInf(rOuter, 1)
-	var removed, added float64
+	// removed/added track the mass delta exactly as before the incremental
+	// statistics existed (the mass arithmetic is pinned bitwise by the
+	// eager-stats equivalence); sumDX/sumDY accumulate the first-moment
+	// deltas per row so the moment accumulators stay O(touched cells).
+	var removed, added, sumDX, sumDY float64
 	for iy := 0; iy < g.ny; iy++ {
 		dy := g.cy[iy] - by
 		dy2 := dy * dy
 		if dy2 > rOuter2 {
 			continue // the whole row is outside the annulus
 		}
+		var rowD, rowDX float64
 		lo, hi := 0, g.nx
 		if bounded {
 			// Conservative (+/- one cell) column interval where the row
@@ -297,6 +365,9 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 					row[ix] = nv
 					removed += old
 					added += nv
+					dm := nv - old
+					rowD += dm
+					rowDX += dm * g.cx[ix]
 				}
 			case haveLUT:
 				for ix := start; ix < end; ix++ {
@@ -325,6 +396,9 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 					row[ix] = nv
 					removed += old
 					added += nv
+					dm := nv - old
+					rowD += dm
+					rowDX += dm * g.cx[ix]
 				}
 			default:
 				for ix := start; ix < end; ix++ {
@@ -342,9 +416,14 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 					row[ix] = nv
 					removed += old
 					added += nv
+					dm := nv - old
+					rowD += dm
+					rowDX += dm * g.cx[ix]
 				}
 			}
 		}
+		sumDX += rowDX
+		sumDY += rowD * g.cy[iy]
 	}
 
 	switch {
@@ -359,12 +438,18 @@ func (g *Grid) ApplyBeacon(beaconPos geom.Vec2, pdf DistanceDensity) {
 	mass := g.mass - removed + added
 	if mass <= 0 || math.IsNaN(mass) || math.IsInf(mass, 0) {
 		// Numerical collapse: fall back to uniform rather than emit NaNs.
+		// Reset restores the closed-form uniform accumulators too.
 		telCollapseReset.Inc()
 		g.Reset()
 		g.beacons = 1
 		return
 	}
 	g.mass = mass
+	g.sumP = g.sumP - removed + added
+	g.sumX += sumDX
+	g.sumY += sumDY
+	g.statsOps++
+	g.plogpOK = false
 	g.beacons++
 	if mass > massRenormHigh || mass < massRenormLow {
 		telRenormTaken.Inc()
@@ -422,6 +507,10 @@ func (g *Grid) applyBeaconEager(beaconPos geom.Vec2, pdf DistanceDensity) {
 	}
 	g.mass = 1
 	g.beacons++
+	// The eager path rewrote every cell; re-sum the accumulators from
+	// scratch so incremental readouts stay valid after mixed use.
+	g.resumMoments()
+	g.plogpOK = false
 }
 
 // Renormalize rescales the belief so the cells sum to one and the tracked
@@ -443,11 +532,76 @@ func (g *Grid) Renormalize() {
 		g.p[i] *= inv
 	}
 	g.mass = 1
+	// A renormalization is a global scale, so the accumulators rescale
+	// analytically: Σ(p·inv)·x = inv·Σp·x, and for the entropy pair
+	// Σ(p·inv)·log(p·inv) = inv·Σp·log p + inv·log(inv)·Σp. The per-cell
+	// rounding this glosses over is exactly the drift the re-sum backstop
+	// bounds.
+	g.sumP = s * inv
+	g.sumX *= inv
+	g.sumY *= inv
+	if g.plogpOK {
+		g.plogp = inv*g.plogp + inv*math.Log(inv)*g.plogpSum
+		g.plogpSum *= inv
+	}
+}
+
+// resumMoments recomputes the cell-sum and first-moment accumulators from
+// the cells, clearing the drift counter. The scan mirrors the eager
+// Estimate's row-sum structure so both paths round alike.
+func (g *Grid) resumMoments() {
+	var sp, sx, sy float64
+	i := 0
+	for iy := 0; iy < g.ny; iy++ {
+		var rowSum float64
+		for ix := 0; ix < g.nx; ix++ {
+			pi := g.p[i]
+			sx += pi * g.cx[ix]
+			rowSum += pi
+			i++
+		}
+		sy += rowSum * g.cy[iy]
+		sp += rowSum
+	}
+	g.sumP, g.sumX, g.sumY = sp, sx, sy
+	g.statsOps = 0
+}
+
+// resumPlogp recomputes the entropy accumulator pair from the cells.
+func (g *Grid) resumPlogp() {
+	var pl, ps float64
+	for _, pi := range g.p {
+		if pi > 0 {
+			pl += pi * math.Log(pi)
+			ps += pi
+		}
+	}
+	g.plogp, g.plogpSum, g.plogpOK = pl, ps, true
 }
 
 // Estimate returns the posterior-mean position (Equation 3), normalizing
-// on the fly from the freshly accumulated mass.
+// on the fly. In StatsIncremental mode it reads the running accumulators
+// (O(touched cells) since the last re-sum); StatsEager recomputes the sums
+// with a full-grid scan.
 func (g *Grid) Estimate() geom.Vec2 {
+	if g.statsMode == StatsEager {
+		return g.estimateEager()
+	}
+	if g.statsOps >= statsResumEvery ||
+		math.IsNaN(g.sumX) || math.IsInf(g.sumX, 0) ||
+		math.IsNaN(g.sumY) || math.IsInf(g.sumY, 0) {
+		telStatsResum.Inc()
+		g.resumMoments()
+	}
+	tot := g.sumP
+	if tot <= 0 || math.IsNaN(tot) || math.IsInf(tot, 0) {
+		return g.area.Center()
+	}
+	return geom.Vec2{X: g.sumX / tot, Y: g.sumY / tot}
+}
+
+// estimateEager is the retained full-scan reference for Estimate.
+func (g *Grid) estimateEager() geom.Vec2 {
 	var ex, ey, tot float64
 	i := 0
 	for iy := 0; iy < g.ny; iy++ {
@@ -470,7 +624,10 @@ func (g *Grid) Estimate() geom.Vec2 {
 
 // MAP returns the highest-probability cell center, an alternative point
 // estimate exposed for diagnostics and the examples. It is scale-free, so
-// lazy normalization needs no extra work here.
+// lazy normalization needs no extra work here. Ties break toward the
+// lowest cell index — the first maximal cell in row-major scan order wins —
+// and that order is part of the contract (pinned by TestMAPTieBreak) so
+// alternative read paths cannot silently change diagnostics.
 func (g *Grid) MAP() geom.Vec2 {
 	best, bi := -1.0, 0
 	for i, pi := range g.p {
@@ -482,9 +639,14 @@ func (g *Grid) MAP() geom.Vec2 {
 }
 
 // ProbabilityAt returns the normalized cell probability covering point pt,
-// for tests and visualization. Points outside the area return 0.
+// for tests and visualization. Points outside the area return 0, as does a
+// belief whose tracked mass is zero or non-finite (the same degenerate
+// states Estimate guards against).
 func (g *Grid) ProbabilityAt(pt geom.Vec2) float64 {
 	if !g.area.Contains(pt) {
+		return 0
+	}
+	if g.mass <= 0 || math.IsNaN(g.mass) || math.IsInf(g.mass, 0) {
 		return 0
 	}
 	ix := int((pt.X - g.area.Min.X) / g.cellSize)
@@ -500,7 +662,28 @@ func (g *Grid) ProbabilityAt(pt geom.Vec2) float64 {
 
 // Entropy returns the Shannon entropy of the normalized belief in nats — a
 // measure of how concentrated the estimate is; uniform beliefs maximize it.
+// A zero or non-finite tracked mass means the belief carries no usable
+// information, so the guard returns the uniform maximum log(N) instead of
+// propagating NaN/Inf. In StatsIncremental mode the entropy comes from the
+// Σp·log p accumulator via H = (Σp·log M − Σp·log p)/M, re-summed on first
+// use after any beacon (ApplyBeacon marks it stale rather than paying two
+// logs per touched cell).
 func (g *Grid) Entropy() float64 {
+	if g.mass <= 0 || math.IsNaN(g.mass) || math.IsInf(g.mass, 0) {
+		return math.Log(float64(len(g.p)))
+	}
+	if g.statsMode == StatsEager {
+		return g.entropyEager()
+	}
+	if !g.plogpOK {
+		telStatsResum.Inc()
+		g.resumPlogp()
+	}
+	return (g.plogpSum*math.Log(g.mass) - g.plogp) / g.mass
+}
+
+// entropyEager is the retained full-scan reference for Entropy.
+func (g *Grid) entropyEager() float64 {
 	inv := 1 / g.mass
 	var h float64
 	for _, pi := range g.p {
@@ -511,10 +694,24 @@ func (g *Grid) Entropy() float64 {
 	return h
 }
 
-// TotalProbability returns the normalized belief mass: the fresh cell sum
-// over the tracked mass. It is ~1 up to the accumulation drift of the lazy
-// updates; exposed for invariant tests.
+// TotalProbability returns the normalized belief mass: the cell sum over
+// the tracked mass. It is ~1 up to the accumulation drift of the lazy
+// updates; exposed for invariant tests. StatsIncremental reads the running
+// cell-sum accumulator; StatsEager re-sums the cells.
 func (g *Grid) TotalProbability() float64 {
+	if g.statsMode == StatsEager {
+		return g.totalProbabilityEager()
+	}
+	if g.statsOps >= statsResumEvery {
+		telStatsResum.Inc()
+		g.resumMoments()
+	}
+	return g.sumP / g.mass
+}
+
+// totalProbabilityEager is the retained full-scan reference for
+// TotalProbability.
+func (g *Grid) totalProbabilityEager() float64 {
 	var s float64
 	for _, pi := range g.p {
 		s += pi

@@ -275,6 +275,9 @@ func TestAnnulusMatchesNaive(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		fast := newGrid(t)
 		ref := newGrid(t)
+		// naive writes ref.p directly, bypassing ApplyBeacon's accumulator
+		// maintenance, so ref must read its statistics with full scans.
+		ref.SetStatsMode(StatsEager)
 		for b := 0; b < 4; b++ {
 			pos := geom.Vec2{X: rng.Uniform(0, 200), Y: rng.Uniform(0, 200)}
 			pdf := caltable.GaussianPDF{Mu: rng.Uniform(3, 80), Sigma: rng.Uniform(0.5, 8)}

@@ -88,3 +88,29 @@ func BenchmarkEstimate(b *testing.B) {
 		_ = g.Estimate()
 	}
 }
+
+// BenchmarkGridStatsReadout isolates what the incremental accumulators buy:
+// a per-sample readout (estimate + entropy, the sampling tick's read path)
+// against a 100x100-cell grid. Incremental reads the running sums in O(1)
+// between re-sum backstops; eager pays the full-grid scan every time.
+func BenchmarkGridStatsReadout(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    StatsMode
+	}{{"incremental", StatsIncremental}, {"eager", StatsEager}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g, err := NewGrid(geom.Square(200), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.SetStatsMode(mode.m)
+			g.ApplyBeacon(geom.Vec2{X: 70, Y: 120}, caltable.GaussianPDF{Mu: 40, Sigma: 5})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = g.Estimate()
+				_ = g.Entropy()
+			}
+		})
+	}
+}

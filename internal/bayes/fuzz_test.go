@@ -1,0 +1,95 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"cocoa/internal/geom"
+)
+
+// FuzzGridStats drives the incremental-statistics grid and the eager
+// reference through the same operation sequence decoded from the fuzz
+// input, asserting after every step that the two read paths agree within
+// 1e-9 and that the belief invariants hold. Each operation consumes four
+// bytes: an opcode selector and three operand bytes (position / density
+// shape), so the fuzzer explores adversarial interleavings of beacon
+// updates, renormalizations, and resets — including degenerate densities.
+func FuzzGridStats(f *testing.F) {
+	// Seed corpus: a plain beacon train, a renorm/reset interleave, a
+	// degenerate-density mix, and a long run crossing the re-sum backstop.
+	f.Add([]byte{0, 10, 20, 8, 0, 200, 120, 30, 0, 90, 250, 2})
+	f.Add([]byte{0, 50, 50, 12, 1, 0, 0, 0, 0, 60, 70, 5, 2, 0, 0, 0, 0, 80, 10, 40})
+	f.Add([]byte{3, 128, 128, 0, 4, 17, 200, 9, 5, 255, 255, 255, 0, 33, 44, 55})
+	long := make([]byte, 4*(statsResumEvery+8))
+	for i := range long {
+		long[i] = byte(i*37 + 11)
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 || len(data) > 4*512 {
+			return
+		}
+		inc, err := NewGrid(geom.Square(60), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eager, err := NewGrid(geom.Square(60), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eager.SetStatsMode(StatsEager)
+
+		apply := func(pos geom.Vec2, pdf DistanceDensity) {
+			inc.ApplyBeacon(pos, pdf)
+			eager.ApplyBeacon(pos, pdf)
+		}
+		for off := 0; off+4 <= len(data); off += 4 {
+			op, a, b, c := data[off], data[off+1], data[off+2], data[off+3]
+			// Positions may fall outside the area, like real beacons from
+			// robots just past the boundary.
+			pos := geom.Vec2{
+				X: float64(a)/2 - 30,
+				Y: float64(b)/2 - 30,
+			}
+			switch op % 8 {
+			case 1:
+				inc.Renormalize()
+				eager.Renormalize()
+			case 2:
+				inc.Reset()
+				eager.Reset()
+			case 3:
+				apply(pos, spikeDensity{at: float64(c)})
+			case 4:
+				apply(pos, nanDensity{})
+			case 5:
+				apply(pos, infDensity{})
+			case 6:
+				apply(pos, flatDensity{v: float64(c) * 1e-9})
+			default:
+				apply(pos, gaussDensity{
+					mean: 1 + float64(c)/2,
+					std:  0.5 + float64(a%16),
+				})
+			}
+
+			const tol = 1e-9
+			ei, ee := inc.Estimate(), eager.Estimate()
+			if d := ei.Dist(ee); !(d <= tol) {
+				t.Fatalf("op %d: Estimate diverged by %v (incremental %v, eager %v)", off/4, d, ei, ee)
+			}
+			hi, he := inc.Entropy(), eager.Entropy()
+			if d := math.Abs(hi - he); !(d <= tol*math.Max(1, math.Abs(he))) {
+				t.Fatalf("op %d: Entropy diverged: incremental %v, eager %v", off/4, hi, he)
+			}
+			ti, te := inc.TotalProbability(), eager.TotalProbability()
+			if d := math.Abs(ti - te); !(d <= tol) {
+				t.Fatalf("op %d: TotalProbability diverged: incremental %v, eager %v", off/4, ti, te)
+			}
+			if math.Abs(ti-1) > 1e-6 {
+				t.Fatalf("op %d: total probability %v drifted from 1", off/4, ti)
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+// Tests for the incremental statistics accumulators (DESIGN.md §13): the
+// StatsIncremental read path must agree with the retained eager full-scan
+// reference within 1e-9 under adversarial ApplyBeacon/Renormalize/Reset
+// sequences, and the degenerate-mass guards must hold in both modes.
+
+// statsPair drives two grids with identical cell state through the same
+// operations: one reading statistics incrementally, one eagerly. ApplyBeacon
+// arithmetic is mode-independent, so the cells and tracked mass stay
+// bit-identical and any readout disagreement is accumulator drift.
+type statsPair struct {
+	inc, eager *Grid
+}
+
+func newStatsPair(t testing.TB, side, cell float64) statsPair {
+	t.Helper()
+	inc, err := NewGrid(geom.Square(side), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := NewGrid(geom.Square(side), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager.SetStatsMode(StatsEager)
+	if inc.StatsModeOf() != StatsIncremental {
+		t.Fatal("grids must default to StatsIncremental")
+	}
+	return statsPair{inc: inc, eager: eager}
+}
+
+func (p statsPair) apply(pos geom.Vec2, pdf DistanceDensity) {
+	p.inc.ApplyBeacon(pos, pdf)
+	p.eager.ApplyBeacon(pos, pdf)
+}
+
+// check asserts every statistics readout of the incremental grid is within
+// 1e-9 of the eager reference.
+func (p statsPair) check(t testing.TB, step string) {
+	t.Helper()
+	const tol = 1e-9
+	ei, ee := p.inc.Estimate(), p.eager.Estimate()
+	if d := ei.Dist(ee); !(d <= tol) {
+		t.Fatalf("%s: Estimate diverged by %v m (incremental %v, eager %v)", step, d, ei, ee)
+	}
+	hi, he := p.inc.Entropy(), p.eager.Entropy()
+	if d := math.Abs(hi - he); !(d <= tol*math.Max(1, math.Abs(he))) {
+		t.Fatalf("%s: Entropy diverged: incremental %v, eager %v", step, hi, he)
+	}
+	ti, te := p.inc.TotalProbability(), p.eager.TotalProbability()
+	if d := math.Abs(ti - te); !(d <= tol) {
+		t.Fatalf("%s: TotalProbability diverged: incremental %v, eager %v", step, ti, te)
+	}
+	// MAP is read-path independent by construction; any difference means an
+	// accumulator path mutated cells.
+	if mi, me := p.inc.MAP(), p.eager.MAP(); mi != me {
+		t.Fatalf("%s: MAP diverged: incremental %v, eager %v", step, mi, me)
+	}
+}
+
+// TestStatsIncrementalMatchesEager is the adversarial property test: long
+// randomized sequences of beacon updates (outlier shapes included),
+// renormalizations, and resets, with every readout cross-checked after
+// every operation — including many uninterrupted beacons so the drift
+// backstop's re-sum boundary (statsResumEvery) is crossed repeatedly.
+func TestStatsIncrementalMatchesEager(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99, 31337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed).Stream("stats-equiv")
+			p := newStatsPair(t, 120, 4)
+			diag := geom.Square(120).Diagonal()
+			for step := 0; step < 2*statsResumEvery+50; step++ {
+				label := fmt.Sprintf("step %d", step)
+				switch {
+				case rng.Bool(0.04):
+					p.inc.Reset()
+					p.eager.Reset()
+				case rng.Bool(0.04):
+					p.inc.Renormalize()
+					p.eager.Renormalize()
+				default:
+					pos := geom.Vec2{X: rng.Uniform(-30, 150), Y: rng.Uniform(-30, 150)}
+					p.apply(pos, randomDensity(rng, diag))
+				}
+				p.check(t, label)
+			}
+		})
+	}
+}
+
+// TestStatsResumBackstop pins the drift bound: the resum counter must fire
+// once the uninterrupted beacon count crosses statsResumEvery, and the
+// moments must still match the eager scans right at the boundary.
+func TestStatsResumBackstop(t *testing.T) {
+	p := newStatsPair(t, 100, 4)
+	for i := 0; i < statsResumEvery+1; i++ {
+		pos := geom.Vec2{X: 10 + float64(i%7)*12, Y: 20 + float64(i%5)*15}
+		p.apply(pos, gaussDensity{mean: 25, std: 6})
+	}
+	if p.inc.statsOps <= statsResumEvery {
+		t.Fatalf("statsOps = %d, expected to exceed backstop %d before a readout",
+			p.inc.statsOps, statsResumEvery)
+	}
+	p.check(t, "past backstop")
+	if p.inc.statsOps != 0 {
+		t.Fatalf("statsOps = %d after readout, want 0 (re-sum taken)", p.inc.statsOps)
+	}
+}
+
+// TestEntropyGuardsDegenerateMass: a zero or non-finite tracked mass must
+// yield the uniform maximum log(N) in both modes, never NaN/Inf (the same
+// guard Estimate has always had for its total).
+func TestEntropyGuardsDegenerateMass(t *testing.T) {
+	for _, mode := range []StatsMode{StatsIncremental, StatsEager} {
+		for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			g, err := NewGrid(geom.Square(80), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.SetStatsMode(mode)
+			g.ApplyBeacon(geom.Vec2{X: 40, Y: 40}, gaussDensity{mean: 10, std: 3})
+			g.mass = bad
+			got := g.Entropy()
+			want := math.Log(float64(len(g.p)))
+			if got != want {
+				t.Errorf("mode %v mass=%v: Entropy() = %v, want uniform max %v", mode, bad, got, want)
+			}
+		}
+	}
+}
+
+// TestProbabilityAtGuardsDegenerateMass: same poisoned-mass states must
+// read as probability 0, not NaN/Inf.
+func TestProbabilityAtGuardsDegenerateMass(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		g, err := NewGrid(geom.Square(80), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ApplyBeacon(geom.Vec2{X: 40, Y: 40}, gaussDensity{mean: 10, std: 3})
+		g.mass = bad
+		if got := g.ProbabilityAt(geom.Vec2{X: 40, Y: 40}); got != 0 {
+			t.Errorf("mass=%v: ProbabilityAt = %v, want 0", bad, got)
+		}
+	}
+}
+
+// TestMAPTieBreak pins the documented tie-break: among equal-probability
+// cells the lowest row-major index wins, both on a fully uniform belief
+// (cell (0,0)) and when two interior cells share the maximum.
+func TestMAPTieBreak(t *testing.T) {
+	g, err := NewGrid(geom.Square(40), 4) // 10x10 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.MAP(), g.cellCenter(0, 0); got != want {
+		t.Fatalf("uniform MAP = %v, want first cell %v", got, want)
+	}
+	// Two equal peaks at indices 23 and 57: the lower index must win.
+	g.p[23] = 5
+	g.p[57] = 5
+	if got, want := g.MAP(), g.cellCenter(23%10, 23/10); got != want {
+		t.Fatalf("tied MAP = %v, want lower-index cell %v", got, want)
+	}
+	// Order of writes must not matter — scan order decides, not history.
+	g2, err := NewGrid(geom.Square(40), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.p[57] = 5
+	g2.p[23] = 5
+	if got, want := g2.MAP(), g2.cellCenter(23%10, 23/10); got != want {
+		t.Fatalf("tied MAP (reversed writes) = %v, want %v", got, want)
+	}
+}
+
+// TestStatsAfterMixedEagerReference: interleaving the retained eager
+// apply/renormalize reference paths with incremental readouts must keep the
+// accumulators coherent (applyBeaconEager rewrites every cell).
+func TestStatsAfterMixedEagerReference(t *testing.T) {
+	p := newStatsPair(t, 100, 4)
+	p.inc.applyBeaconEager(geom.Vec2{X: 20, Y: 30}, gaussDensity{mean: 15, std: 4})
+	p.eager.applyBeaconEager(geom.Vec2{X: 20, Y: 30}, gaussDensity{mean: 15, std: 4})
+	p.check(t, "after eager apply")
+	p.apply(geom.Vec2{X: 70, Y: 60}, gaussDensity{mean: 30, std: 5})
+	p.check(t, "after lazy apply on eager-applied state")
+}

@@ -201,6 +201,15 @@ type Config struct {
 	// default) sizes the pool to GOMAXPROCS; 1 forces serial application.
 	UpdateWorkers int
 
+	// GridStats selects how the Bayesian grid computes its statistics
+	// readouts (estimate, entropy, total probability): "incremental" (also
+	// the "" default) maintains running accumulators updated by each
+	// beacon's touched cells with a drift-bounded full re-sum backstop;
+	// "eager" forces the full-grid scans, the slow reference the
+	// incremental path is equivalence-checked against at 1e-9 (see
+	// DESIGN.md §13). Only the grid localizer reads this knob.
+	GridStats string
+
 	// Faults injects unreliable-network conditions: bursty link loss,
 	// robot crash/recovery outages, RSSI outlier spikes, and per-robot
 	// clock skew. The zero value (the default) injects nothing and leaves
@@ -317,6 +326,8 @@ func (c Config) Validate() error {
 		return configErrorf("UpdateWorkers", "negative UpdateWorkers")
 	case c.NeighborIndex != "" && c.NeighborIndex != "grid" && c.NeighborIndex != "scan":
 		return configErrorf("NeighborIndex", "%q must be \"grid\" or \"scan\"", c.NeighborIndex)
+	case c.GridStats != "" && c.GridStats != "incremental" && c.GridStats != "eager":
+		return configErrorf("GridStats", "%q must be \"incremental\" or \"eager\"", c.GridStats)
 	}
 	if err := c.Radio.Validate(); err != nil {
 		return &ConfigError{Field: "Radio", Reason: err.Error()}

@@ -68,6 +68,39 @@ func newResult(cfg Config, tracked []int) *Result {
 	}
 }
 
+// reset rewinds a recycled Result to the state newResult returns, keeping
+// every slice's backing array so the run that adopts it appends without
+// reallocating. Counters and aggregates are zeroed wholesale by value
+// assignment; only the slices are carried over.
+func (r *Result) reset(cfg Config, tracked []int) {
+	per := r.PerRobot
+	if cap(per) >= len(tracked) {
+		// Re-extend over the full capacity first so inner backing arrays
+		// parked beyond the previous length are reclaimed too, then cut to
+		// size after the truncation loop below empties every row.
+		per = per[:cap(per)]
+	} else {
+		fresh := make([][]float64, len(tracked))
+		copy(fresh, per[:cap(per)])
+		per = fresh
+	}
+	for i := range per {
+		per[i] = per[i][:0]
+	}
+	per = per[:len(tracked)]
+	*r = Result{
+		Config:             cfg,
+		TrackedIDs:         tracked,
+		Times:              r.Times[:0],
+		AvgError:           r.AvgError[:0],
+		PerRobot:           per,
+		PerRobotEnergyJ:    r.PerRobotEnergyJ[:0],
+		FinalTruePositions: r.FinalTruePositions[:0],
+		FinalEstimates:     r.FinalEstimates[:0],
+		Equipped:           r.Equipped[:0],
+	}
+}
+
 // MeanError returns the localization error averaged over robots and time —
 // the paper's "average localization error over time" headline metric.
 func (r *Result) MeanError() float64 {

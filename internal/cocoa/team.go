@@ -78,6 +78,10 @@ type Team struct {
 	outages []faults.Outage
 	crashes int
 
+	// scratch is the run slot this team was built on (nil for fresh
+	// construction); RunContext recycles Result buffers through it.
+	scratch *Scratch
+
 	// Controller-reporting counters (Config.EnableReporting).
 	reportsSent      int
 	reportsDelivered int
@@ -88,11 +92,28 @@ type Team struct {
 // phase (PDF Table construction) runs here, before the mission starts,
 // exactly as the paper's offline calibration does.
 func NewTeam(cfg Config) (*Team, error) {
+	return NewTeamScratch(cfg, nil)
+}
+
+// NewTeamScratch assembles a deployment on a reusable run slot: the
+// simulator, the RNG streams, and the belief grids come from the scratch,
+// recycled from the previous run built through it. The assembled team is
+// byte-identical in behavior to a NewTeam one — reuse only changes where
+// the memory comes from. Building a team on a scratch invalidates the
+// previous team built on the same scratch (see Scratch). A nil scratch
+// degenerates to NewTeam exactly.
+func NewTeamScratch(cfg Config, sc *Scratch) (*Team, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	root := sim.NewRNG(cfg.Seed)
-	s := sim.New()
+	var root *sim.RNG
+	var s *sim.Simulator
+	if sc != nil {
+		s, root = sc.begin(cfg.Seed)
+	} else {
+		root = sim.NewRNG(cfg.Seed)
+		s = sim.New()
+	}
 
 	macCfg := mac.DefaultConfig(cfg.Radio)
 	if cfg.NeighborIndex != "scan" {
@@ -114,6 +135,7 @@ func NewTeam(cfg Config) (*Team, error) {
 		med:      med,
 		rng:      root.Stream("team"),
 		clockRng: root.Stream("clock"),
+		scratch:  sc,
 	}
 	t.updateWorkers = cfg.UpdateWorkers
 	if t.updateWorkers == 0 {
@@ -181,7 +203,7 @@ func NewTeam(cfg Config) (*Team, error) {
 		}
 
 		if !r.equipped {
-			r.loc, err = newLocalizer(cfg, root, id)
+			r.loc, err = newLocalizer(cfg, root, id, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -277,7 +299,8 @@ func NewTeam(cfg Config) (*Team, error) {
 }
 
 // newLocalizer builds the configured RF estimation backend for one robot.
-func newLocalizer(cfg Config, root *sim.RNG, id int) (Localizer, error) {
+// Grid localizers draw from the scratch's grid arena when sc is non-nil.
+func newLocalizer(cfg Config, root *sim.RNG, id int, sc *Scratch) (Localizer, error) {
 	switch cfg.Localizer {
 	case LocalizerParticle:
 		mc := mcl.DefaultConfig(cfg.Area)
@@ -286,7 +309,20 @@ func newLocalizer(cfg Config, root *sim.RNG, id int) (Localizer, error) {
 	case LocalizerEKF:
 		return ekf.New(ekf.DefaultConfig(cfg.Area))
 	default:
-		return bayes.NewGrid(cfg.Area, cfg.GridCellM)
+		var g *bayes.Grid
+		var err error
+		if sc != nil {
+			g, err = sc.grid(cfg)
+		} else {
+			g, err = bayes.NewGrid(cfg.Area, cfg.GridCellM)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cfg.GridStats == "eager" {
+			g.SetStatsMode(bayes.StatsEager)
+		}
+		return g, nil
 	}
 }
 
@@ -331,7 +367,14 @@ func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 	}
 	cfg := t.cfg
 
-	res := newResult(cfg, t.trackedIDs())
+	tracked := t.trackedIDs()
+	var res *Result
+	if t.scratch != nil {
+		res = t.scratch.takeResult(cfg, tracked)
+	}
+	if res == nil {
+		res = newResult(cfg, tracked)
+	}
 
 	if cfg.Mode != ModeOdometryOnly {
 		t.scheduleWindow(0)

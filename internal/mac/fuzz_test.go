@@ -89,7 +89,11 @@ func FuzzGridIndex(f *testing.F) {
 				g.remove(sh.st)
 				delete(live, id)
 			case 3: // query: differential check against the O(n) scan
-				got := g.collect(p)
+				// Pruning disabled (+Inf): this oracle checks the pure
+				// 3x3-neighborhood set; the pruned variant is covered by
+				// TestCollectPrunesByIndexedPosition and the scenario
+				// byte-equivalence suite.
+				got := g.collect(p, math.Inf(1))
 				kx, ky := refCoord(p.X, cellM), refCoord(p.Y, cellM)
 				var want []int
 				for wid, sh := range live {
@@ -115,11 +119,17 @@ func FuzzGridIndex(f *testing.F) {
 		// Structural invariant after the churn: every live station is
 		// bucketed exactly once, under the key of its last indexed position.
 		seen := map[int]int{}
-		g.cells.forEach(func(key gridKey, b []*station) {
-			for _, st := range b {
-				seen[st.id]++
-				if st.key != key {
-					t.Fatalf("station %d bucketed under %v but keyed %v", st.id, key, st.key)
+		g.cells.forEach(func(key gridKey, b []cellEntry) {
+			for _, e := range b {
+				seen[e.id]++
+				if e.st.id != e.id {
+					t.Fatalf("entry id %d disagrees with station id %d", e.id, e.st.id)
+				}
+				if e.st.key != key {
+					t.Fatalf("station %d bucketed under %v but keyed %v", e.id, key, e.st.key)
+				}
+				if sh := live[e.id]; sh != nil && e.ipos != sh.pos {
+					t.Fatalf("station %d entry position %v, last indexed at %v", e.id, e.ipos, sh.pos)
 				}
 			}
 		})

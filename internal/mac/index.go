@@ -26,6 +26,11 @@ import (
 //   - Candidates are visited in ascending station ID, the same order the
 //     scan uses, so the per-receiver draws from the MAC RNG stream land on
 //     the same receivers in the same order.
+//   - collect pre-prunes candidates whose indexed position proves them
+//     beyond plausFar even after the maximal IndexSlackM drift. A pruned
+//     station would take beginReception's distance-gate branch, which
+//     draws no randomness, so folding it into transmit's bulk BelowSense
+//     skip changes neither the RNG stream nor any non-volatile counter.
 //   - carrierBusy needs only transmissions whose mean signal can reach
 //     sensitivity (distance < senseFar <= cell side); transmissions are
 //     bucketed by their frozen origin, so the same 3x3 query is complete.
@@ -158,6 +163,17 @@ func (bg *bucketGrid[T]) grow(k gridKey) bool {
 	return true
 }
 
+// cellEntry is one bucketed station. The ID and last-indexed position are
+// stored inline so collect's distance filter and 9-way merge stream
+// contiguous 32-byte records instead of dereferencing scattered station
+// structs — at swarm scale the per-candidate cache miss, not the compare,
+// was the dominant cost. Only surviving candidates dereference st.
+type cellEntry struct {
+	id   int
+	ipos geom.Vec2
+	st   *station
+}
+
 // gridIndex is the uniform spatial index over stations and in-flight
 // transmissions. Station buckets are kept sorted ascending by ID
 // (order-preserving insert and remove), so collect can merge the 3x3
@@ -167,9 +183,10 @@ type gridIndex struct {
 	inv   float64 // 1 / cellM
 	// cells buckets attached stations by their last indexed position;
 	// txCells buckets in-flight transmissions by their frozen origin.
-	cells   bucketGrid[*station]
+	cells   bucketGrid[cellEntry]
 	txCells bucketGrid[*transmission]
-	cand    []*station // scratch buffer reused across collect calls
+	cand    []*station  // scratch: collect's merged output
+	fbuf    []cellEntry // scratch: collect's filtered per-bucket runs
 }
 
 func newGridIndex(cellM float64) *gridIndex {
@@ -192,71 +209,104 @@ func (g *gridIndex) keyOf(p geom.Vec2) gridKey {
 	return gridKey{g.coord(p.X), g.coord(p.Y)}
 }
 
-// bucketInsert adds st to the bucket for key, keeping it ID-sorted.
-func (g *gridIndex) bucketInsert(key gridKey, st *station) {
+// entryCmp orders bucket entries by station ID for binary search.
+func entryCmp(e cellEntry, id int) int { return e.id - id }
+
+// bucketInsert adds e to the bucket for key, keeping it ID-sorted.
+func (g *gridIndex) bucketInsert(key gridKey, e cellEntry) {
 	b := g.cells.get(key)
-	i, _ := slices.BinarySearchFunc(b, st.id, func(s *station, id int) int { return s.id - id })
-	g.cells.put(key, slices.Insert(b, i, st))
+	i, _ := slices.BinarySearchFunc(b, e.id, entryCmp)
+	g.cells.put(key, slices.Insert(b, i, e))
 }
 
 // insert buckets st at its current endpoint position.
 func (g *gridIndex) insert(st *station) {
-	st.key = g.keyOf(st.ep.Position())
+	p := st.ep.Position()
+	st.key = g.keyOf(p)
 	st.gridded = true
-	g.bucketInsert(st.key, st)
+	g.bucketInsert(st.key, cellEntry{id: st.id, ipos: p, st: st})
 }
 
 // remove unbuckets st, preserving the bucket's ID order; a station not in
-// the grid is left alone.
+// the grid is left alone. IDs are unique among bucketed stations (Attach
+// removes a replaced station before inserting its successor), so the entry
+// is found by ID.
 func (g *gridIndex) remove(st *station) {
 	if !st.gridded {
 		return
 	}
 	st.gridded = false
 	b := g.cells.get(st.key)
-	for i, s := range b {
-		if s == st {
-			g.cells.put(st.key, slices.Delete(b, i, i+1))
-			return
-		}
+	if i, ok := slices.BinarySearchFunc(b, st.id, entryCmp); ok {
+		g.cells.put(st.key, slices.Delete(b, i, i+1))
 	}
 }
 
 // update re-buckets st at its current endpoint position, reporting whether
-// it changed cells.
+// it changed cells. The indexed position is refreshed even when the cell is
+// unchanged: collect's pre-prune bound (true position within IndexSlackM of
+// the entry's ipos) holds exactly because ipos is as fresh as the last
+// update sweep — the same cadence the cell-side slack already relies on.
 func (g *gridIndex) update(st *station) bool {
 	if !st.gridded {
 		return false
 	}
-	key := g.keyOf(st.ep.Position())
+	p := st.ep.Position()
+	key := g.keyOf(p)
 	if key == st.key {
+		b := g.cells.get(key)
+		if i, ok := slices.BinarySearchFunc(b, st.id, entryCmp); ok {
+			b[i].ipos = p
+		}
 		return false
 	}
 	g.remove(st)
 	st.key = key
 	st.gridded = true
-	g.bucketInsert(key, st)
+	g.bucketInsert(key, cellEntry{id: st.id, ipos: p, st: st})
 	return true
 }
 
-// collect gathers every station bucketed in the 3x3 cell neighborhood of p,
-// sorted ascending by ID — the same visit order the O(n) scan uses. Each
-// bucket is already ID-sorted, so the neighborhood is assembled by a 9-way
-// merge: no comparator calls, no per-transmission sort. The returned slice
-// is scratch memory owned by the index, valid until the next collect call.
-func (g *gridIndex) collect(p geom.Vec2) []*station {
+// collect gathers every station bucketed in the 3x3 cell neighborhood of p
+// whose indexed position keeps it within pruneFar2 (squared meters) of p,
+// sorted ascending by ID — the same visit order the O(n) scan uses. Pruned
+// stations are provably beyond the plausibility gate (see the contract at
+// the top of this file); the caller accounts for them with the same bulk
+// BelowSense skip as the out-of-neighborhood population, via
+// len(ordered) - len(candidates). Pass +Inf to disable pruning.
+//
+// Each bucket is already ID-sorted, so the neighborhood is assembled by
+// filtering each bucket into a contiguous scratch run and 9-way merging the
+// runs: no comparator calls, no per-transmission sort, and the merge's
+// min-scan touches only inline entry records. The returned slice is scratch
+// memory owned by the index, valid until the next collect call.
+func (g *gridIndex) collect(p geom.Vec2, pruneFar2 float64) []*station {
 	g.cand = g.cand[:0]
+	g.fbuf = g.fbuf[:0]
 	k := g.keyOf(p)
 	// heads caches each run's front ID so the min-scan compares a small
-	// stack array instead of dereferencing scattered stations every step.
-	var runs [9][]*station
+	// stack array instead of re-loading entries every step.
+	var runs [9][]cellEntry
 	var heads [9]int
 	n := 0
 	for dy := int64(-1); dy <= 1; dy++ {
 		for dx := int64(-1); dx <= 1; dx++ {
-			if b := g.cells.get(gridKey{k.x + dx, k.y + dy}); len(b) > 0 {
-				runs[n] = b
-				heads[n] = b[0].id
+			b := g.cells.get(gridKey{k.x + dx, k.y + dy})
+			if len(b) == 0 {
+				continue
+			}
+			start := len(g.fbuf)
+			for i := range b {
+				if p.Dist2(b[i].ipos) < pruneFar2 {
+					g.fbuf = append(g.fbuf, b[i])
+				}
+			}
+			// A later bucket's append may grow fbuf and move earlier runs
+			// to a stale backing array; their contents stay valid — runs
+			// are read-only views consumed before the next collect call.
+			if run := g.fbuf[start:]; len(run) > 0 {
+				runs[n] = run
+				heads[n] = run[0].id
 				n++
 			}
 		}
@@ -269,7 +319,7 @@ func (g *gridIndex) collect(p geom.Vec2) []*station {
 			}
 		}
 		r := runs[best]
-		g.cand = append(g.cand, r[0])
+		g.cand = append(g.cand, r[0].st)
 		if len(r) > 1 {
 			runs[best] = r[1:]
 			heads[best] = r[1].id
@@ -281,7 +331,9 @@ func (g *gridIndex) collect(p geom.Vec2) []*station {
 		}
 	}
 	if n == 1 {
-		g.cand = append(g.cand, runs[0]...)
+		for i := range runs[0] {
+			g.cand = append(g.cand, runs[0][i].st)
+		}
 	}
 	return g.cand
 }

@@ -237,6 +237,11 @@ type Medium struct {
 	// in distance.
 	senseNear2, senseFar2 float64
 	plausNear2, plausFar2 float64
+	// pruneFar2 (IndexGrid only) is (sqrt(plausFar2) + IndexSlackM)²:
+	// an indexed-position distance this large proves the true distance is
+	// at least plausFar even after maximal drift, so the receiver would
+	// take beginReception's no-RNG gate branch — prunable in bulk.
+	pruneFar2 float64
 	// grid is the spatial neighbor index; nil selects the brute-force scan
 	// (IndexScan, or IndexGrid over a radio model with unbounded brackets).
 	grid *gridIndex
@@ -274,6 +279,8 @@ func NewMedium(s *sim.Simulator, cfg Config, rng *sim.RNG) (*Medium, error) {
 		far2 := math.Max(m.plausFar2, m.senseFar2)
 		if cell := math.Sqrt(far2) + cfg.IndexSlackM; !math.IsInf(cell, 1) && cell > 0 {
 			m.grid = newGridIndex(cell)
+			pf := math.Sqrt(m.plausFar2) + cfg.IndexSlackM
+			m.pruneFar2 = pf * pf
 		}
 	}
 	return m, nil
@@ -522,13 +529,15 @@ func (m *Medium) transmit(st *station, f Frame) {
 		return
 	}
 
-	// Indexed path. Everything outside the 3x3 neighborhood is provably
-	// beyond the plausibility gate, so it takes the same BelowSense branch
-	// the scan's per-station loop would — in bulk, without being visited.
+	// Indexed path. Everything outside the 3x3 neighborhood — and every
+	// neighbor whose indexed position proves it beyond plausFar even after
+	// maximal IndexSlackM drift — is provably beyond the plausibility
+	// gate, so it takes the same BelowSense branch the scan's per-station
+	// loop would — in bulk, without being visited or drawing randomness.
 	// The candidates (a superset of every station the scan would sample,
 	// including the transmitter itself when attached) then run the ordinary
 	// per-station decision in the same ascending-ID order as the scan.
-	cands := m.grid.collect(tx.pos)
+	cands := m.grid.collect(tx.pos, m.pruneFar2)
 	telIndexCells.Add(9)
 	telIndexCands.Add(int64(len(cands)))
 	if skipped := len(m.ordered) - len(cands); skipped > 0 {

@@ -102,6 +102,30 @@ func TestGridIndexUnbucketedGuards(t *testing.T) {
 	}
 }
 
+// TestCollectPrunesByIndexedPosition pins collect's pre-prune: a neighbor
+// whose indexed position lies at or beyond the prune radius is dropped from
+// the candidate set, one inside it survives in ID order, and +Inf disables
+// pruning entirely.
+func TestCollectPrunesByIndexedPosition(t *testing.T) {
+	g := newGridIndex(50)
+	mk := func(id int, p geom.Vec2) *station {
+		st := &station{id: id, ep: &fakeEndpoint{pos: p, listening: true}}
+		g.insert(st)
+		return st
+	}
+	self := mk(0, geom.Vec2{})
+	near := mk(1, geom.Vec2{X: 10})
+	mk(2, geom.Vec2{X: 40}) // same 3x3 neighborhood, beyond the prune radius
+
+	got := g.collect(geom.Vec2{}, 20*20)
+	if len(got) != 2 || got[0] != self || got[1] != near {
+		t.Fatalf("pruned collect returned %d candidates, want [self, near]", len(got))
+	}
+	if n := len(g.collect(geom.Vec2{}, math.Inf(1))); n != 3 {
+		t.Fatalf("unpruned collect returned %d candidates, want 3", n)
+	}
+}
+
 // Expired transmissions linger in the candidate structures until their
 // end-of-frame reap; carrier sensing must skip them in both modes.
 func TestCarrierBusySkipsExpiredTransmissions(t *testing.T) {

@@ -75,6 +75,15 @@ type Waypoint struct {
 	restUntil sim.Time
 	resting   bool
 	legs      int
+
+	// Cached leg constants, computed once per command: the leg length, the
+	// arrival time, and the unit direction. They are pure functions of
+	// (origin, dest, speed, legT), which are immutable for the leg's
+	// lifetime, so caching them cannot change any position bit — it only
+	// hoists a sqrt and a division out of every mid-leg query.
+	legD   float64
+	arrive sim.Time
+	ux, uy float64
 }
 
 // NewWaypoint builds a movement process starting at a uniformly random
@@ -115,6 +124,15 @@ func (w *Waypoint) newCommand() {
 	w.speed = w.rng.Uniform(w.cfg.VMin, w.cfg.VMax)
 	w.resting = false
 	w.legs++
+
+	// Freeze the leg constants. The unit vector reuses legD: Dist and Len
+	// share the same radicand (negation is exact), so dividing by legD is
+	// bit-identical to Unit() and saves its second square root. legD == 0
+	// legs never read ux/uy — arrival fires immediately.
+	w.legD = w.origin.Dist(w.dest)
+	w.arrive = w.legT + sim.Time(w.legD/w.speed)
+	v := w.dest.Sub(w.origin)
+	w.ux, w.uy = v.X/w.legD, v.Y/w.legD
 }
 
 // Position returns the robot's true position at time now, advancing the
@@ -141,11 +159,9 @@ func (w *Waypoint) advance(now sim.Time) {
 		}
 		// The leg's arrival time depends only on its origin, destination,
 		// and speed — never on where along it the robot was last observed.
-		d := w.origin.Dist(w.dest)
-		arrive := w.legT + sim.Time(d/w.speed)
-		if arrive <= now {
+		if w.arrive <= now {
 			w.pos = w.dest
-			w.lastT = arrive
+			w.lastT = w.arrive
 			rest := w.rng.Uniform(w.cfg.RestMin, w.cfg.RestMax)
 			if rest > 0 {
 				w.resting = true
@@ -155,13 +171,10 @@ func (w *Waypoint) advance(now sim.Time) {
 			}
 			continue
 		}
-		// Mid-leg: recompute analytically from the leg constants. The unit
-		// vector reuses d: Dist and Len share the same radicand (negation
-		// is exact), so dividing by d here is bit-identical to Unit() and
-		// saves its second square root. d > 0 because d == 0 would have
-		// taken the arrival branch above.
-		v := w.dest.Sub(w.origin)
-		u := geom.Vec2{X: v.X / d, Y: v.Y / d}
+		// Mid-leg: recompute analytically from the frozen leg constants
+		// (see newCommand). legD > 0 because legD == 0 would have taken
+		// the arrival branch above.
+		u := geom.Vec2{X: w.ux, Y: w.uy}
 		w.pos = w.origin.Add(u.Scale(w.speed * (now - w.legT)))
 		w.lastT = now
 	}
@@ -173,7 +186,8 @@ func (w *Waypoint) Velocity() geom.Vec2 {
 	if w.resting || w.pos == w.dest {
 		return geom.Vec2{}
 	}
-	return w.dest.Sub(w.origin).Unit().Scale(w.speed)
+	// The cached unit direction is bit-identical to Unit() (see newCommand).
+	return geom.Vec2{X: w.ux, Y: w.uy}.Scale(w.speed)
 }
 
 // Heading returns the current movement heading in radians.

@@ -253,8 +253,18 @@ func (p *Protocol) onJoinQuery(f mac.Frame, _ float64) {
 	st := p.queries[q.Source]
 	fresh := st == nil || st.seq < q.Seq
 	if fresh {
-		st = &queryState{seq: q.Seq}
-		p.queries[q.Source] = st
+		// One queryState per source, recycled across rounds: a new round
+		// rewinds the candidate list in place. Pending sendReply closures
+		// from the superseded round carry their own seq and bail out when
+		// it no longer matches (the recycled-state equivalent of the old
+		// pointer-replacement check).
+		if st == nil {
+			st = &queryState{}
+			p.queries[q.Source] = st
+		}
+		st.seq = q.Seq
+		st.candidates = st.candidates[:0]
+		st.replied = false
 	} else if st.seq > q.Seq {
 		return // stale round
 	}
@@ -287,14 +297,15 @@ func (p *Protocol) onJoinQuery(f mac.Frame, _ float64) {
 	// so upstream selection can compare candidates.
 	if p.member {
 		delay := p.rng.Uniform(float64(p.cfg.ReplyDelayMinS), float64(p.cfg.ReplyDelayMaxS))
-		p.sim.Schedule(delay, func() { p.sendReply(q.Source, st) })
+		p.sim.Schedule(delay, func() { p.sendReply(q.Source, st, q.Seq) })
 	}
 }
 
-// sendReply emits this node's JOIN REPLY for the given round, choosing the
-// upstream by predicted link lifetime (MRMM) or arrival order (ODMRP).
-func (p *Protocol) sendReply(source int, st *queryState) {
-	if st.replied || len(st.candidates) == 0 || p.queries[source] != st {
+// sendReply emits this node's JOIN REPLY for the round identified by seq,
+// choosing the upstream by predicted link lifetime (MRMM) or arrival order
+// (ODMRP).
+func (p *Protocol) sendReply(source int, st *queryState, seq int) {
+	if st.replied || len(st.candidates) == 0 || st.seq != seq {
 		return // already answered, or a newer round superseded this one
 	}
 	st.replied = true
@@ -374,7 +385,7 @@ func (p *Protocol) onJoinReply(f mac.Frame, _ float64) {
 	if st == nil || st.seq != r.Seq || st.replied {
 		return
 	}
-	p.sendReply(r.Source, st)
+	p.sendReply(r.Source, st, r.Seq)
 }
 
 // onDataFrame handles mesh data: deliver to the member application and

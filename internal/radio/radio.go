@@ -157,9 +157,18 @@ func (m Model) MaxPlausibleRSSI(d float64) float64 {
 	return m.MeanRSSI(d) + 5*m.ShadowSigmaDB
 }
 
-// ClampRSSI clamps an RSSI value to the card's reporting range.
+// ClampRSSI clamps an RSSI value to the card's reporting range. The manual
+// compares keep NaN propagation identical to the math.Min(math.Max(...))
+// they replace (a NaN fails both compares and passes through) while
+// avoiding two function calls on the MAC's per-reception path.
 func (m Model) ClampRSSI(r float64) float64 {
-	return math.Min(math.Max(r, m.MinRSSIDBm), m.MaxRSSIDBm)
+	if r < m.MinRSSIDBm {
+		return m.MinRSSIDBm
+	}
+	if r > m.MaxRSSIDBm {
+		return m.MaxRSSIDBm
+	}
+	return r
 }
 
 // Decodable reports whether a frame received at the given RSSI is above the

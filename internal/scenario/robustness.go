@@ -88,13 +88,16 @@ func RunReplication(ctx context.Context, opts Options, seeds int) (Replication, 
 		cfg.Seed = opts.seed() + int64(s)
 		cfgs[s] = cfg
 	}
-	results, err := opts.runAll(ctx, cfgs)
+	// Each seed contributes one scalar, so the runs stream through the
+	// full-reuse path: every Result's buffers are recycled into its
+	// worker's scratch the moment the mean is extracted.
+	vals := make([]float64, seeds)
+	err := opts.runEach(ctx, cfgs, func(i int, res *cocoa.Result) error {
+		vals[i] = res.MeanError()
+		return nil
+	})
 	if err != nil {
 		return Replication{}, err
-	}
-	vals := make([]float64, 0, seeds)
-	for _, res := range results {
-		vals = append(vals, res.MeanError())
 	}
 	rep := Replication{Seeds: seeds, MinM: math.Inf(1), MaxM: math.Inf(-1)}
 	for _, v := range vals {

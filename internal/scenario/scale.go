@@ -94,6 +94,9 @@ func RunScale(ctx context.Context, opts Options) ([]ScaleRow, error) {
 		if opts.UpdateWorkers > 0 {
 			cfg.UpdateWorkers = opts.UpdateWorkers
 		}
+		if opts.GridStats != "" {
+			cfg.GridStats = opts.GridStats
+		}
 		cfgs[i] = cfg
 	}
 	results, err := opts.runAll(ctx, cfgs)

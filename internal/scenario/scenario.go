@@ -50,6 +50,12 @@ type Options struct {
 	// UpdateWorkers overrides the per-run localizer worker pool; 0 keeps
 	// the config default (GOMAXPROCS), 1 forces serial application.
 	UpdateWorkers int
+	// GridStats overrides the Bayesian grid's statistics read path for
+	// every run of the experiment: "" keeps the config default (the
+	// incremental accumulators), "incremental" forces it, "eager" forces
+	// the full-scan reference. The two paths agree within 1e-9 (DESIGN.md
+	// §13); the grid-stats equivalence suite runs the registry under both.
+	GridStats string
 
 	// Parallelism caps how many of an experiment's independent simulation
 	// runs execute concurrently. Every run is seed-deterministic and
@@ -70,6 +76,18 @@ func (o Options) runAll(ctx context.Context, cfgs []cocoa.Config) ([]*cocoa.Resu
 		Parallelism: o.Parallelism,
 		Progress:    o.Progress,
 	}, cfgs)
+}
+
+// runEach executes prepared sweep configs like runAll but streams each
+// result to fn and recycles its buffers afterwards (runner.RunsEach): the
+// full memory-reuse path for experiments that keep one scalar per run
+// rather than the run's whole time series. fn may run concurrently up to
+// the parallelism cap; distinct calls always carry distinct indices.
+func (o Options) runEach(ctx context.Context, cfgs []cocoa.Config, fn func(i int, res *cocoa.Result) error) error {
+	return runner.RunsEach(ctx, runner.Options{
+		Parallelism: o.Parallelism,
+		Progress:    o.Progress,
+	}, cfgs, fn)
 }
 
 // ctxErr is the early-exit cancellation check for runners whose work does
@@ -113,6 +131,9 @@ func (o Options) apply(cfg *cocoa.Config) {
 	}
 	if o.UpdateWorkers > 0 {
 		cfg.UpdateWorkers = o.UpdateWorkers
+	}
+	if o.GridStats != "" {
+		cfg.GridStats = o.GridStats
 	}
 }
 

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The Bayesian grid's incremental statistics accumulators (DESIGN.md §13)
+// carry an equivalence contract with the retained eager full-scan reference:
+// the two read paths agree within 1e-9 on every experiment outcome. Unlike
+// the spatial index's byte-identity (the index changes nothing about the
+// arithmetic), the accumulators legitimately round differently than a fresh
+// scan, so the contract here is numeric closeness, not byte equality. This
+// suite enforces it across the whole registry at UpdateWorkers 1 and 8;
+// make check runs it under -race.
+
+// statsEquivTol is the accumulator-vs-scan agreement bound from the
+// acceptance criteria, applied relative to the value magnitude.
+const statsEquivTol = 1e-9
+
+// statsEquivOpts is the quick scale with the grid-stats read path and
+// worker count pinned.
+func statsEquivOpts(stats string, workers int) Options {
+	return Options{
+		Seed:               1,
+		DurationS:          300,
+		NumRobots:          12,
+		CalibrationSamples: 60000,
+		GridCellM:          4,
+		GridStats:          stats,
+		UpdateWorkers:      workers,
+		Parallelism:        1,
+	}
+}
+
+// numericallyClose walks two decoded JSON values in lockstep: numbers must
+// agree within statsEquivTol (relative above magnitude 1), everything else
+// must match exactly. The "GridStats" config field is the one key allowed
+// (and required) to differ between the two runs.
+func numericallyClose(path string, a, b any) error {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok || len(av) != len(bv) {
+			return fmt.Errorf("%s: shape mismatch", path)
+		}
+		for k, x := range av {
+			if k == "GridStats" {
+				continue
+			}
+			y, ok := bv[k]
+			if !ok {
+				return fmt.Errorf("%s.%s: missing in eager result", path, k)
+			}
+			if err := numericallyClose(path+"."+k, x, y); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return fmt.Errorf("%s: length mismatch", path)
+		}
+		for i := range av {
+			if err := numericallyClose(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case float64:
+		bvf, ok := b.(float64)
+		if !ok {
+			return fmt.Errorf("%s: type mismatch", path)
+		}
+		scale := math.Max(1, math.Max(math.Abs(av), math.Abs(bvf)))
+		if d := math.Abs(av - bvf); !(d <= statsEquivTol*scale) {
+			return fmt.Errorf("%s: %v vs %v differ by %v (tol %v)", path, av, bvf, d, statsEquivTol*scale)
+		}
+		return nil
+	default:
+		if a != b {
+			return fmt.Errorf("%s: %v != %v", path, a, b)
+		}
+		return nil
+	}
+}
+
+// TestGridStatsEquivalenceRegistry runs every registered experiment with
+// the incremental accumulators and with the eager full-scan reference, at
+// UpdateWorkers 1 and 8, and requires every numeric outcome to agree within
+// 1e-9.
+func TestGridStatsEquivalenceRegistry(t *testing.T) {
+	for _, d := range Experiments() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			for _, workers := range []int{1, 8} {
+				decode := func(stats string) any {
+					res, err := d.Run(context.Background(), statsEquivOpts(stats, workers))
+					if err != nil {
+						t.Fatalf("gridstats=%s workers=%d: %v", stats, workers, err)
+					}
+					b, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var v any
+					if err := json.Unmarshal(b, &v); err != nil {
+						t.Fatal(err)
+					}
+					return v
+				}
+				inc := decode("incremental")
+				eager := decode("eager")
+				if err := numericallyClose("result", inc, eager); err != nil {
+					t.Errorf("workers=%d: incremental and eager results diverge: %v", workers, err)
+				}
+			}
+		})
+	}
+}

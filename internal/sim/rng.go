@@ -13,6 +13,9 @@ import (
 type RNG struct {
 	seed uint64
 	r    *rand.Rand
+	// pool, when non-nil, is the RNGPool this stream and every stream
+	// derived from it draw their storage from.
+	pool *RNGPool
 }
 
 // NewRNG returns a root random stream for the given seed. The underlying
@@ -22,28 +25,28 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{seed: uint64(seed), r: rand.New(newSource(seed))}
 }
 
-// Stream derives an independent named sub-stream. The derivation hashes the
-// root seed with the name, so streams are stable across code changes that
-// reorder draw sites.
-func (g *RNG) Stream(name string) *RNG {
+// streamSeed derives the sub-stream seed for Stream: FNV-64a over the parent
+// seed bytes followed by the stream name. The derivation depends only on
+// (seed, name), so streams are stable across code changes that reorder draw
+// sites.
+func streamSeed(seed uint64, name string) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	for i := 0; i < 8; i++ {
-		b[i] = byte(g.seed >> (8 * i))
+		b[i] = byte(seed >> (8 * i))
 	}
 	_, _ = h.Write(b[:])
 	_, _ = h.Write([]byte(name))
-	s := h.Sum64()
-	return &RNG{seed: s, r: rand.New(newSource(int64(s)))}
+	return h.Sum64()
 }
 
-// StreamN derives an independent sub-stream keyed by name and an index,
-// typically a node ID.
-func (g *RNG) StreamN(name string, n int) *RNG {
+// streamSeedN derives the sub-stream seed for StreamN: streamSeed's hash
+// extended with the index bytes.
+func streamSeedN(seed uint64, name string, n int) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	for i := 0; i < 8; i++ {
-		b[i] = byte(g.seed >> (8 * i))
+		b[i] = byte(seed >> (8 * i))
 	}
 	_, _ = h.Write(b[:])
 	_, _ = h.Write([]byte(name))
@@ -51,9 +54,85 @@ func (g *RNG) StreamN(name string, n int) *RNG {
 		b[i] = byte(uint64(n) >> (8 * i))
 	}
 	_, _ = h.Write(b[:])
-	s := h.Sum64()
+	return h.Sum64()
+}
+
+// make materializes a stream for the derived seed s, drawing storage from
+// the parent's pool when it has one.
+func (g *RNG) make(s uint64) *RNG {
+	if g.pool != nil {
+		return g.pool.get(s)
+	}
 	return &RNG{seed: s, r: rand.New(newSource(int64(s)))}
 }
+
+// Stream derives an independent named sub-stream. The derivation hashes the
+// root seed with the name, so streams are stable across code changes that
+// reorder draw sites.
+func (g *RNG) Stream(name string) *RNG {
+	return g.make(streamSeed(g.seed, name))
+}
+
+// StreamN derives an independent sub-stream keyed by name and an index,
+// typically a node ID.
+func (g *RNG) StreamN(name string, n int) *RNG {
+	return g.make(streamSeedN(g.seed, name, n))
+}
+
+// RNGPool recycles RNG streams across consecutive runs. A run's streams are
+// its single largest construction allocation (each lagged-Fibonacci source
+// carries a ~5 KB state vector, and a team creates several streams per
+// robot), yet a reseed is a complete state reset: rand.Rand.Seed clears the
+// Rand's cached values and lfgSource.Seed rewrites the whole feedback
+// vector. The pool therefore keeps every stream it ever handed out and, on
+// Recycle, simply marks them all free; the next run's derivations reseed
+// them in place, producing sequences bit-identical to freshly constructed
+// streams.
+//
+// A pool serves one run at a time: Recycle must not be called while any
+// stream from the previous handout can still draw. The zero value is not
+// usable; construct with NewRNGPool.
+type RNGPool struct {
+	all  []*RNG
+	used int
+}
+
+// NewRNGPool returns an empty stream pool.
+func NewRNGPool() *RNGPool {
+	return &RNGPool{}
+}
+
+// Root returns the pool-backed equivalent of NewRNG(seed): a root stream
+// whose derived sub-streams also draw from the pool.
+func (p *RNGPool) Root(seed int64) *RNG {
+	return p.get(uint64(seed))
+}
+
+// get hands out the next free pooled stream reseeded to s, growing the pool
+// when every retained stream is in use.
+func (p *RNGPool) get(s uint64) *RNG {
+	if p.used < len(p.all) {
+		g := p.all[p.used]
+		p.used++
+		g.seed = s
+		g.r.Seed(int64(s))
+		return g
+	}
+	g := &RNG{seed: s, r: rand.New(newSource(int64(s))), pool: p}
+	p.all = append(p.all, g)
+	p.used++
+	return g
+}
+
+// Recycle returns every handed-out stream to the pool. The caller must
+// guarantee that no stream from the previous handout is drawn from again.
+func (p *RNGPool) Recycle() {
+	p.used = 0
+}
+
+// Size returns the number of streams the pool retains (free and in use),
+// for diagnostics and tests.
+func (p *RNGPool) Size() int { return len(p.all) }
 
 // Float64 returns a uniform sample in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+// drawSome exercises every distribution once and returns the samples, so a
+// pooled stream can be compared draw-for-draw against a fresh one.
+func drawSome(g *RNG) [6]float64 {
+	return [6]float64{
+		g.Float64(),
+		g.Uniform(-3, 9),
+		float64(g.Intn(1000)),
+		g.Normal(1, 2),
+		g.Exp(5),
+		g.Rayleigh(2),
+	}
+}
+
+// A pooled root and its derived streams must be bit-identical to freshly
+// constructed ones — the property the scratch reuse path rests on.
+func TestRNGPoolBitIdenticalToFresh(t *testing.T) {
+	p := NewRNGPool()
+	for round, seed := range []int64{42, -7, 42} {
+		p.Recycle()
+		fresh := NewRNG(seed)
+		pooled := p.Root(seed)
+		if got, want := drawSome(pooled), drawSome(fresh); got != want {
+			t.Fatalf("round %d: root draws %v, want %v", round, got, want)
+		}
+		for _, name := range []string{"mac", "team"} {
+			if got, want := drawSome(pooled.Stream(name)), drawSome(fresh.Stream(name)); got != want {
+				t.Fatalf("round %d: stream %q draws %v, want %v", round, name, got, want)
+			}
+		}
+		for n := 0; n < 3; n++ {
+			if got, want := drawSome(pooled.StreamN("odometry", n)), drawSome(fresh.StreamN("odometry", n)); got != want {
+				t.Fatalf("round %d: streamN %d draws %v, want %v", round, n, got, want)
+			}
+		}
+	}
+}
+
+// Recycling must reuse the retained streams instead of growing the pool,
+// and a partial second handout leaves the unclaimed streams untouched.
+func TestRNGPoolRecycleReuses(t *testing.T) {
+	p := NewRNGPool()
+	root := p.Root(1)
+	for i := 0; i < 5; i++ {
+		root.StreamN("s", i)
+	}
+	size := p.Size()
+	if size != 6 {
+		t.Fatalf("pool retains %d streams after first handout, want 6", size)
+	}
+	p.Recycle()
+	root = p.Root(2)
+	root.Stream("only")
+	if p.Size() != size {
+		t.Fatalf("pool grew to %d on reuse, want %d", p.Size(), size)
+	}
+	p.Recycle()
+	for i := 0; i < 10; i++ {
+		p.Root(3)
+	}
+	if p.Size() != 10 {
+		t.Fatalf("pool size %d after over-demand, want 10", p.Size())
+	}
+}
+
+// Derived streams of a pooled RNG must themselves be pool-backed — a
+// pooled team that derives hundreds of per-robot streams should allocate
+// none of them on reuse.
+func TestRNGPoolDerivedStreamsPooled(t *testing.T) {
+	p := NewRNGPool()
+	root := p.Root(7)
+	s := root.Stream("a")
+	if s.pool != p {
+		t.Fatal("derived stream not pool-backed")
+	}
+	p.Recycle()
+	root2 := p.Root(7)
+	if root2 != root {
+		t.Fatal("recycled root is a different object")
+	}
+	if s2 := root2.Stream("a"); s2 != s {
+		t.Fatal("recycled derived stream is a different object")
+	}
+}

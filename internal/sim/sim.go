@@ -94,10 +94,18 @@ func (q *eventQueue) Pop() any {
 // allocated from chunks rather than individually: a busy scenario schedules
 // hundreds of thousands of short-lived events (MAC timers, delivery
 // callbacks, ticks), and one heap allocation per event dominated the
-// engine's allocation profile. Chunks are never reused for new events —
-// callers hold *Event across firing (Cancel after fire must stay a no-op)
-// — so a drained chunk is simply dropped for the GC to collect.
+// engine's allocation profile. Chunks are never reused for new events
+// within a run — callers hold *Event across firing (Cancel after fire must
+// stay a no-op) — but Reset rewinds the retained chunk list so consecutive
+// runs on one simulator recycle their event storage.
 const arenaChunk = 256
+
+// maxRetainedChunks caps the chunk list a simulator keeps for Reset reuse
+// (256 chunks = 65536 events ≈ 3 MB). Runs that schedule more events than
+// that fall back to the historical drop-for-GC behavior for the excess, so
+// a pathological endless simulation cannot grow its footprint without
+// bound.
+const maxRetainedChunks = 256
 
 // Simulator owns the virtual clock and the event calendar.
 type Simulator struct {
@@ -107,9 +115,14 @@ type Simulator struct {
 	stopped bool
 
 	// arena is the current Event allocation block; arenaPos indexes the
-	// next free slot.
+	// next free slot. chunks retains allocated blocks for reuse after
+	// Reset: arena aliases chunks[chunkIdx] while chunkIdx is in range
+	// (-1 before the first block), and overflow blocks past
+	// maxRetainedChunks stay untracked.
 	arena    []Event
 	arenaPos int
+	chunks   [][]Event
+	chunkIdx int
 
 	// processed counts events executed, for diagnostics and tests.
 	processed uint64
@@ -117,11 +130,49 @@ type Simulator struct {
 
 // New returns an empty simulator with the clock at zero.
 func New() *Simulator {
-	return &Simulator{}
+	return &Simulator{chunkIdx: -1}
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
+
+// Reset rewinds the simulator to its initial state — clock at zero, empty
+// calendar — while retaining the allocated event storage: the calendar
+// heap's backing array and the current arena chunk are kept for the next
+// run instead of being reallocated.
+//
+// Reuse contract: Reset recycles Event slots, so it must only be called
+// once no *Event obtained from the previous run can be used again (the
+// Cancel-after-fire no-op guarantee does not survive a Reset). The scratch
+// reuse path upholds this by resetting only after the previous run's team
+// has been discarded.
+func (s *Simulator) Reset() {
+	// Drop queued events (and their closures) but keep the heap's capacity.
+	for i := range s.queue {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:0]
+	// Clear every retained chunk so no stale closure or heap index
+	// survives into the slots the next run will hand out, then rewind the
+	// arena to the first one. An untracked overflow block (past the
+	// retention cap) is simply dropped here.
+	for _, c := range s.chunks {
+		for i := range c {
+			c[i] = Event{}
+		}
+	}
+	s.chunkIdx = -1
+	s.arena = nil
+	if len(s.chunks) > 0 {
+		s.chunkIdx = 0
+		s.arena = s.chunks[0]
+	}
+	s.arenaPos = 0
+	s.now = 0
+	s.seq = 0
+	s.processed = 0
+	s.stopped = false
+}
 
 // Pending returns the number of events waiting in the calendar, including
 // canceled events that have not yet been drained.
@@ -147,9 +198,23 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: time %v before now %v: %v", t, s.now, ErrNegativeDelay))
 	}
 	if s.arenaPos == len(s.arena) {
-		s.arena = make([]Event, arenaChunk)
+		s.chunkIdx++
+		switch {
+		case s.chunkIdx < len(s.chunks):
+			// A retained chunk from a previous run; its slots are fully
+			// overwritten below at hand-out time.
+			s.arena = s.chunks[s.chunkIdx]
+		case len(s.chunks) < maxRetainedChunks:
+			s.arena = make([]Event, arenaChunk)
+			s.chunks = append(s.chunks, s.arena)
+			telChunks.Inc()
+		default:
+			// Past the retention cap: untracked, dropped for the GC when
+			// the next block replaces it (the pre-reuse behavior).
+			s.arena = make([]Event, arenaChunk)
+			telChunks.Inc()
+		}
 		s.arenaPos = 0
-		telChunks.Inc()
 	}
 	e := &s.arena[s.arenaPos]
 	s.arenaPos++
