@@ -1,7 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz check bench bench-smoke bench-json \
-	cover cover-check bench-compare serve-smoke clean
+.PHONY: all build test vet race fuzz shuffle check bench bench-smoke \
+	bench-json cover cover-check bench-compare serve-smoke clean
 
 all: build
 
@@ -28,6 +28,14 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTabulateAgreement -fuzztime=$(FUZZTIME) ./internal/caltable
 	$(GO) test -run='^$$' -fuzz=FuzzGridIndex -fuzztime=$(FUZZTIME) ./internal/mac
 	$(GO) test -run='^$$' -fuzz=FuzzGridStats -fuzztime=$(FUZZTIME) ./internal/bayes
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) ./internal/checkpoint
+
+# shuffle reruns the stateful service/runner suites twice in random order:
+# the runner and serve packages keep cross-test state (scratch pools, a
+# process-global telemetry registry, daemon state dirs), so any hidden
+# test-order dependence shows up here instead of flaking in CI.
+shuffle:
+	$(GO) test -count=2 -shuffle=on ./internal/runner ./internal/serve
 
 # cover prints per-package statement coverage; cover-check additionally
 # enforces the floors in coverage_floor.txt (see cmd/covergate). Floors
@@ -51,9 +59,10 @@ serve-smoke:
 # out across goroutines, so -race is not optional here), a short fuzz pass
 # over the serialization/loss-channel/LUT targets, a one-iteration
 # benchmark smoke so bench-only code paths cannot rot between bench runs,
-# the per-package coverage floor gate, the cocoad end-to-end smoke, and
-# the headline-benchmark regression gate.
-check: vet race fuzz bench-smoke cover-check serve-smoke bench-compare
+# the per-package coverage floor gate, the cocoad end-to-end smoke, the
+# headline-benchmark regression gate, and the shuffled reruns of the
+# order-sensitive service suites.
+check: vet race fuzz shuffle bench-smoke cover-check serve-smoke bench-compare
 
 # bench regenerates every paper figure at reduced scale, including the
 # serial-vs-parallel engine pair (BenchmarkReplication*).
@@ -67,7 +76,7 @@ bench-smoke:
 
 # bench-json refreshes the checked-in benchmark trajectory
 # from a full -benchmem run; see README "Benchmark tracking" for the format.
-BENCHJSON_OUT ?= BENCH_PR8.json
+BENCHJSON_OUT ?= BENCH_PR9.json
 
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
@@ -75,7 +84,7 @@ bench-json:
 # bench-compare re-times just the headline benchmarks (root package) and
 # fails on a >25% regression against the checked-in baseline — in ns/op,
 # and in B/op / allocs/op wherever the baseline carries -benchmem columns.
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR8.json
 
 bench-compare:
 	$(GO) test -run='^$$' -bench='^(BenchmarkReplicationSerial|BenchmarkFig4OdometryOnly|BenchmarkSwarmSim1000)$$' -benchmem . \

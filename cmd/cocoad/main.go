@@ -62,6 +62,8 @@ func run(args []string) error {
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
 		debugAddr    = fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this private address")
 		smoke        = fs.String("smoke", "", "run the golden smoke check against this testdata file and exit")
+		stateDir     = fs.String("state-dir", "", "persist job state beneath this directory and resume interrupted jobs on startup")
+		ckptEvery    = fs.Int("checkpoint-every", 0, "snapshot cadence in sampling ticks for durable jobs (0 = default cadence)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,14 +79,27 @@ func run(args []string) error {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		DefaultTimeout: *jobTimeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		DefaultTimeout:       *jobTimeout,
+		MaxTimeout:           *maxTimeout,
+		StateDir:             *stateDir,
+		CheckpointEveryTicks: *ckptEvery,
 	})
 
 	if *smoke != "" {
 		return runSmoke(srv, *smoke)
+	}
+
+	// With a state directory, pick up whatever a previous process left
+	// behind before opening the listener: recovered jobs re-enter the
+	// queue first, so they resume even under immediate new load.
+	recovered, err := srv.RecoverJobs()
+	if err != nil {
+		return fmt.Errorf("recover jobs: %w", err)
+	}
+	for _, id := range recovered {
+		fmt.Fprintf(stderr, "cocoad: resuming %s from %s\n", id, *stateDir)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"cocoa"
+	"cocoa/internal/checkpoint"
 )
 
 func TestRunSingleFigureQuick(t *testing.T) {
@@ -184,5 +186,79 @@ func TestFractionBelow(t *testing.T) {
 	}
 	if got := fractionBelow(snap, 100); got != 1 {
 		t.Errorf("fractionBelow(100) = %v, want 1", got)
+	}
+}
+
+// TestRunCheckpointSweepAndResume drives the operational loop end to end:
+// a quick sweep persists per-run snapshots, then -resume continues one of
+// them and reports its provenance. The sweep output itself must be
+// unchanged by checkpointing.
+func TestRunCheckpointSweepAndResume(t *testing.T) {
+	dir := t.TempDir()
+	var plain, ckpt bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-fig", "9", "-parallel", "1"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-quick", "-fig", "9", "-parallel", "1",
+		"-checkpoint", dir, "-checkpoint-every", "60"}, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	stripWall := func(s string) string {
+		i := strings.Index(s, "total wall time")
+		if i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	if stripWall(plain.String()) != stripWall(ckpt.String()) {
+		t.Fatalf("checkpointing changed experiment output:\n%s\n%s", plain.String(), ckpt.String())
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "run-*", "latest.ckpt"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("sweep left no snapshots (err=%v)", err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-resume", matches[0]}, &out); err != nil {
+		t.Fatalf("resume: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"digest sim", "digest rng", "resumed to completion"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("resume output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunResumeDivergenceReport corrupts a snapshot digest and requires
+// the CLI to name the diverged subsystem instead of failing opaquely.
+func TestRunResumeDivergenceReport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-quick", "-fig", "9", "-parallel", "1",
+		"-checkpoint", dir, "-checkpoint-every", "60"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "run-*", "latest.ckpt"))
+	if len(matches) == 0 {
+		t.Fatal("no snapshots")
+	}
+	snap, err := checkpoint.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Digests {
+		if snap.Digests[i].Name == "robots" {
+			snap.Digests[i].Sum ^= 1
+		}
+	}
+	if err := checkpoint.WriteFile(matches[0], snap); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run(context.Background(), []string{"-resume", matches[0]}, &out)
+	if err == nil {
+		t.Fatal("tampered snapshot resumed successfully")
+	}
+	if !strings.Contains(out.String(), "DIVERGED") || !strings.Contains(out.String(), "robots") {
+		t.Errorf("divergence not reported by subsystem:\n%s", out.String())
 	}
 }

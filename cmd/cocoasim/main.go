@@ -64,6 +64,9 @@ func run(args []string, w io.Writer) error {
 		robotsFile  = fs.String("robots-out", "", "also write the per-robot error matrix CSV to this file")
 		sampleEvery = fs.Int("every", 60, "series print cadence in samples (non-CSV)")
 		printConfig = fs.Bool("print-config", false, "print the assembled Config as JSON and exit (pipe into cocoad)")
+		ckptDir     = fs.String("checkpoint", "", "persist a resumable snapshot (latest.ckpt) into this directory during the run")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "snapshot cadence in sampling ticks (0 = default cadence)")
+		resumePath  = fs.String("resume", "", "resume from this snapshot file instead of starting a new run (other config flags are ignored)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,13 +108,42 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown mode %q (want odometry | rf | cocoa)", *mode)
 	}
 
+	if *ckptDir != "" {
+		cfg.Checkpoint = cocoa.CheckpointSpec{EveryTicks: *ckptEvery, Dir: *ckptDir}
+	}
+
 	if *printConfig {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(cfg)
 	}
 
-	team, err := cocoa.NewTeam(cfg)
+	var team *cocoa.Team
+	var err error
+	if *resumePath != "" {
+		// Resume mode: the snapshot's embedded config replaces the flag
+		// assembly above wholesale; only the operational checkpoint flags
+		// carry over (so a resumed run can keep snapshotting).
+		snap, rerr := cocoa.ReadSnapshot(*resumePath)
+		if rerr != nil {
+			return rerr
+		}
+		cfg, err = cocoa.ConfigFromSnapshot(snap)
+		if err != nil {
+			return err
+		}
+		if *ckptDir != "" {
+			cfg.Checkpoint = cocoa.CheckpointSpec{EveryTicks: *ckptEvery, Dir: *ckptDir}
+		}
+		fmt.Fprintf(os.Stderr, "cocoasim: resuming from %s (tick %d, t=%.0fs", *resumePath, snap.TickIndex, snap.SimNowS)
+		if snap.Label != "" {
+			fmt.Fprintf(os.Stderr, ", label %q", snap.Label)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		team, err = cocoa.ResumeTeam(cfg, snap)
+	} else {
+		team, err = cocoa.NewTeam(cfg)
+	}
 	if err != nil {
 		return err
 	}

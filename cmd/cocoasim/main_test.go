@@ -201,3 +201,44 @@ func TestRunPrintConfig(t *testing.T) {
 		t.Errorf("printed config does not validate: %v", err)
 	}
 }
+
+func TestRunCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	var full bytes.Buffer
+	if err := run(fastArgs("-mode", "cocoa",
+		"-checkpoint", dir, "-checkpoint-every", "30", "-json"), &full); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := dir + "/latest.ckpt"
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpointing run left no snapshot: %v", err)
+	}
+	var resumed bytes.Buffer
+	if err := run([]string{"-resume", ckpt, "-json"}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() != resumed.String() {
+		t.Fatalf("resumed summary differs from the full run's:\n%s\n%s",
+			full.String(), resumed.String())
+	}
+}
+
+func TestRunResumeMissingSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-resume", t.TempDir() + "/nope.ckpt"}, &buf)
+	if err == nil {
+		t.Fatal("resume from a missing snapshot succeeded")
+	}
+}
+
+func TestRunResumeCorruptSnapshot(t *testing.T) {
+	path := t.TempDir() + "/bad.ckpt"
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-resume", path}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("corrupt snapshot: err=%v, want a checkpoint format error", err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"context"
 
 	"cocoa/internal/caltable"
+	"cocoa/internal/checkpoint"
 	icocoa "cocoa/internal/cocoa"
 	"cocoa/internal/energy"
 	"cocoa/internal/faults"
@@ -125,6 +126,63 @@ func NewTeamScratch(cfg Config, sc *Scratch) (*Team, error) {
 // RunContext(ctx, cfg); only the memory is recycled.
 func RunScratch(ctx context.Context, cfg Config, sc *Scratch) (*Result, error) {
 	return icocoa.RunScratch(ctx, cfg, sc)
+}
+
+// Checkpoint/resume: a run with Config.Checkpoint set persists a snapshot
+// of its deterministic state every EveryTicks sampling ticks; ResumeFrom
+// continues an interrupted run from such a snapshot with a Result
+// byte-identical to an uninterrupted run's. See DESIGN.md §14 for the
+// replay-and-verify model.
+type (
+	// CheckpointSpec configures mid-run snapshotting (Config.Checkpoint):
+	// a cadence in sampling ticks and the directory that holds the
+	// atomically-replaced latest.ckpt.
+	CheckpointSpec = icocoa.CheckpointSpec
+	// Snapshot is one captured interruption point: the run's config, the
+	// capture tick, the partial result, and per-subsystem state digests.
+	Snapshot = checkpoint.Snapshot
+)
+
+// ErrSnapshotCorrupt classifies snapshot decoding failures (truncated or
+// corrupted bytes, wrong version): errors.Is(err, ErrSnapshotCorrupt).
+var ErrSnapshotCorrupt = checkpoint.ErrCorrupt
+
+// Checkpoint file-sink constants: a checkpointing run atomically replaces
+// CheckpointFile in its Checkpoint.Dir; EveryTicks <= 0 means
+// DefaultCheckpointEveryTicks.
+const (
+	CheckpointFile              = icocoa.CheckpointFile
+	DefaultCheckpointEveryTicks = icocoa.DefaultCheckpointEveryTicks
+)
+
+// ReadSnapshot loads a snapshot file written by a checkpointing run.
+// Corrupt input fails with an error wrapping ErrSnapshotCorrupt — never a
+// panic.
+func ReadSnapshot(path string) (*Snapshot, error) { return checkpoint.ReadFile(path) }
+
+// ResumeFrom continues the run captured in snap to completion: the
+// embedded config is replayed deterministically from tick zero, the
+// replayed state is verified against the snapshot's digests at its capture
+// tick (a mismatch fails with *checkpoint.DivergenceError naming the
+// diverged subsystems), and the full-run Result — byte-identical to an
+// uninterrupted run of the same config — is returned.
+func ResumeFrom(ctx context.Context, snap *Snapshot) (*Result, error) {
+	return icocoa.ResumeFrom(ctx, snap)
+}
+
+// ConfigFromSnapshot decodes and validates the run configuration embedded
+// in snap — for callers that want to inspect or operationally adjust the
+// run (e.g. re-arm Checkpoint) before resuming it with ResumeTeam.
+func ConfigFromSnapshot(snap *Snapshot) (Config, error) {
+	return icocoa.ConfigFromSnapshot(snap)
+}
+
+// ResumeTeam builds the team that continues snap under cfg (normally
+// ConfigFromSnapshot's output, optionally with operational fields like
+// Checkpoint overridden). Running it replays, verifies, and completes the
+// run; semantic config tampering is caught by digest verification.
+func ResumeTeam(cfg Config, snap *Snapshot) (*Team, error) {
+	return icocoa.ResumeTeam(cfg, snap)
 }
 
 // Config validation errors. Validate (and therefore NewTeam, Run,

@@ -38,6 +38,7 @@
 package bayes
 
 import (
+	"cocoa/internal/checkpoint"
 	"fmt"
 	"math"
 
@@ -717,4 +718,26 @@ func (g *Grid) totalProbabilityEager() float64 {
 		s += pi
 	}
 	return s / g.mass
+}
+
+// HashState folds the grid's complete belief state — every cell plus the
+// incremental statistics accumulators — into h, for checkpoint digests.
+// It reads raw fields only (no lazy re-sum), so hashing never perturbs
+// the incremental/eager equivalence the grid maintains.
+func (g *Grid) HashState(h *checkpoint.Hasher) {
+	h.Int(g.nx)
+	h.Int(g.ny)
+	h.Int(g.beacons)
+	h.Int(int(g.statsMode))
+	h.Int(g.statsOps)
+	h.F64(g.mass)
+	h.F64(g.sumP)
+	h.F64(g.sumX)
+	h.F64(g.sumY)
+	h.F64(g.plogp)
+	h.F64(g.plogpSum)
+	h.Bool(g.plogpOK)
+	for _, p := range g.p {
+		h.F64(p)
+	}
 }

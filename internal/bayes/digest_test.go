@@ -1,0 +1,43 @@
+package bayes
+
+import (
+	"testing"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/geom"
+)
+
+// HashState is the grid's checkpoint fingerprint: equal states must hash
+// equal, and any belief update must move the digest.
+func TestHashState(t *testing.T) {
+	sum := func(g *Grid) uint64 {
+		h := checkpoint.NewHasher()
+		g.HashState(h)
+		return h.Sum()
+	}
+	a := newGrid(t)
+	b := newGrid(t)
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh grids hash differently")
+	}
+	again := sum(a)
+	if again != sum(a) {
+		t.Fatal("hashing is not deterministic")
+	}
+	a.ApplyBeacon(geom.Vec2{X: 50, Y: 100}, caltable.GaussianPDF{Mu: 40, Sigma: 2})
+	if sum(a) == sum(b) {
+		t.Fatal("belief update did not change the digest")
+	}
+	// Hashing reads raw fields only; it must not disturb the belief.
+	before := sum(a)
+	_ = a.Estimate()
+	_ = a.Entropy()
+	if got := a.TotalProbability(); got <= 0 {
+		t.Fatalf("TotalProbability = %v", got)
+	}
+	b.ApplyBeacon(geom.Vec2{X: 50, Y: 100}, caltable.GaussianPDF{Mu: 40, Sigma: 2})
+	if sum(b) != before {
+		t.Fatal("same update sequence produced a different digest")
+	}
+}

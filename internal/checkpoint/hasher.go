@@ -1,0 +1,69 @@
+package checkpoint
+
+import "math"
+
+// FNV-1a 64 parameters.
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+// Hasher folds a subsystem's deterministic state into an FNV-1a 64
+// fingerprint. Subsystems implement
+//
+//	HashState(h *checkpoint.Hasher)
+//
+// writing their raw fields in a fixed order; the methods must be
+// side-effect free (no lazy readouts, no RNG draws) so that taking a
+// snapshot can never perturb the run it observes. Floats are hashed by
+// their IEEE 754 bit patterns, so two states hash equal exactly when they
+// are bit-identical — the same standard the differential replay tests
+// hold results to.
+type Hasher struct {
+	h uint64
+}
+
+// NewHasher returns a Hasher at the FNV-1a offset basis.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+// Sum returns the current fingerprint.
+func (h *Hasher) Sum() uint64 { return h.h }
+
+func (h *Hasher) byte(b byte) {
+	h.h ^= uint64(b)
+	h.h *= fnvPrime
+}
+
+// U64 folds a uint64 (little-endian bytes).
+func (h *Hasher) U64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+// I64 folds an int64.
+func (h *Hasher) I64(v int64) { h.U64(uint64(v)) }
+
+// Int folds an int.
+func (h *Hasher) Int(v int) { h.U64(uint64(int64(v))) }
+
+// F64 folds a float64 by its bit pattern (NaNs with different payloads
+// hash differently; that is intentional — bit-identity is the standard).
+func (h *Hasher) F64(v float64) { h.U64(math.Float64bits(v)) }
+
+// Bool folds a bool.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+// Str folds a length-prefixed string.
+func (h *Hasher) Str(s string) {
+	h.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}

@@ -1,0 +1,351 @@
+package cocoa
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/sim"
+)
+
+// CheckpointSpec configures mid-run snapshotting (Config.Checkpoint).
+//
+// A snapshot is taken after every EveryTicks-th sampling tick and
+// atomically replaces Dir/latest.ckpt, so the file always holds the most
+// recent consistent capture point. Resume replays the run from tick zero
+// and verifies the replayed state against the snapshot's digests at the
+// capture tick (see internal/checkpoint and DESIGN.md §14) — byte-identity
+// of the resumed Result holds by construction, and a digest mismatch
+// surfaces as a *checkpoint.DivergenceError instead of silently wrong
+// numbers.
+//
+// The spec is deliberately excluded from the Config's JSON form (and
+// therefore from Result bytes and from the snapshot's embedded config):
+// where and how often a run checkpoints is an operational property of the
+// process executing it, not of the experiment, so two runs differing only
+// here stay byte-identical and a resumed run re-checkpoints only if its
+// operator asks again.
+type CheckpointSpec struct {
+	// EveryTicks is the snapshot cadence in sampling ticks; 0 with a
+	// non-empty Dir means DefaultCheckpointEveryTicks.
+	EveryTicks int
+	// Dir is the directory holding latest.ckpt; created on first write.
+	Dir string
+}
+
+// Enabled reports whether the spec asks for snapshotting.
+func (s CheckpointSpec) Enabled() bool { return s.EveryTicks != 0 || s.Dir != "" }
+
+const (
+	// DefaultCheckpointEveryTicks is the snapshot cadence when a spec
+	// names a directory but no cadence.
+	DefaultCheckpointEveryTicks = 60
+	// CheckpointFile is the file name the default sink maintains in
+	// CheckpointSpec.Dir.
+	CheckpointFile = "latest.ckpt"
+)
+
+// OnCheckpoint arms a custom checkpoint sink on a team that has not run
+// yet: after every everyTicks-th sampling tick (minimum 1) a snapshot is
+// captured and handed to fn. It overrides Config.Checkpoint's default
+// file sink. fn runs on the event loop; returning an error stops the run
+// and RunContext returns that error — returning checkpoint.ErrStop is the
+// idiomatic "stop here, the snapshot is the output" (the differential
+// harness's interrupt model).
+func (t *Team) OnCheckpoint(everyTicks int, fn func(*checkpoint.Snapshot) error) {
+	if everyTicks < 1 {
+		everyTicks = 1
+	}
+	t.ckptEvery = everyTicks
+	t.ckptHook = fn
+}
+
+// SetCheckpointLabel attaches free-form provenance (a job ID, an
+// experiment name) to every snapshot this team captures.
+func (t *Team) SetCheckpointLabel(label string) { t.ckptLabel = label }
+
+// armCheckpoints resolves Config.Checkpoint into the default file sink.
+// A sink installed through OnCheckpoint wins.
+func (t *Team) armCheckpoints() {
+	if t.ckptHook != nil || !t.cfg.Checkpoint.Enabled() {
+		return
+	}
+	spec := t.cfg.Checkpoint
+	every := spec.EveryTicks
+	if every <= 0 {
+		every = DefaultCheckpointEveryTicks
+	}
+	path := filepath.Join(spec.Dir, CheckpointFile)
+	t.ckptEvery = every
+	t.ckptHook = func(s *checkpoint.Snapshot) error {
+		return checkpoint.WriteFile(path, s)
+	}
+}
+
+// maxSampleTicks is how many sampling ticks a run of cfg executes (ticks
+// fire at SampleIntervalS, 2·SampleIntervalS, …, up to DurationS
+// inclusive).
+func maxSampleTicks(cfg Config) int {
+	return int(math.Floor(float64(cfg.DurationS)/float64(cfg.SampleIntervalS) + 1e-9))
+}
+
+// onSampleTick runs the checkpoint machinery at the end of every sampling
+// tick: first verify a pending resume snapshot if this is its tick, then
+// capture if the cadence says so. Any error stops the event loop and is
+// surfaced by RunContext.
+func (t *Team) onSampleTick(res *Result, now sim.Time) {
+	t.ticks++
+	if t.verify != nil && t.ticks == t.verify.TickIndex {
+		snap := t.verify
+		t.verify = nil
+		if err := t.verifyDigests(snap, res); err != nil {
+			t.ckptErr = err
+			t.sim.Stop()
+			return
+		}
+	}
+	if t.ckptHook != nil && t.ckptEvery > 0 && t.ticks%t.ckptEvery == 0 {
+		if err := t.capture(res, now); err != nil {
+			t.ckptErr = err
+			t.sim.Stop()
+		}
+	}
+}
+
+// capture takes a snapshot at the current tick and hands it to the sink.
+func (t *Team) capture(res *Result, now sim.Time) error {
+	snap, err := t.snapshotAt(res, now)
+	if err != nil {
+		return err
+	}
+	return t.ckptHook(snap)
+}
+
+// snapshotAt materializes the snapshot for the just-completed tick.
+func (t *Team) snapshotAt(res *Result, now sim.Time) (*checkpoint.Snapshot, error) {
+	cfgJSON, err := json.Marshal(t.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cocoa: checkpoint config: %w", err)
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("cocoa: checkpoint result: %w", err)
+	}
+	return &checkpoint.Snapshot{
+		TickIndex:  t.ticks,
+		SimNowS:    float64(now),
+		Label:      t.ckptLabel,
+		ConfigJSON: cfgJSON,
+		ResultJSON: resJSON,
+		Digests:    t.digests(res),
+	}, nil
+}
+
+// stateHasher is the capability every digestable subsystem implements.
+type stateHasher interface {
+	HashState(h *checkpoint.Hasher)
+}
+
+// digests fingerprints every deterministic subsystem at a tick boundary,
+// in a fixed order. All HashState implementations are side-effect free, so
+// taking a snapshot cannot perturb the run. The set is chosen for
+// bisection power, not completeness — resume correctness comes from
+// deterministic replay, and state not digested individually (e.g. the
+// geounicast agents' neighbor caches) still reflects into the rng, mac,
+// and result digests through its effects.
+func (t *Team) digests(res *Result) []checkpoint.Digest {
+	ds := make([]checkpoint.Digest, 0, 10)
+	add := func(name string, fn func(h *checkpoint.Hasher)) {
+		h := checkpoint.NewHasher()
+		fn(h)
+		ds = append(ds, checkpoint.Digest{Name: name, Sum: h.Sum()})
+	}
+	add("sim", func(h *checkpoint.Hasher) {
+		h.F64(float64(t.sim.Now()))
+		h.U64(t.sim.Processed())
+		h.Int(t.sim.Pending())
+	})
+	add("rng", t.root.HashTree)
+	add("mobility", func(h *checkpoint.Hasher) {
+		for _, r := range t.robots {
+			r.way.HashState(h)
+		}
+	})
+	add("odometry", func(h *checkpoint.Hasher) {
+		for _, r := range t.robots {
+			r.reckoner.HashState(h)
+		}
+	})
+	add("localizer", func(h *checkpoint.Hasher) {
+		for _, r := range t.robots {
+			hs, ok := r.loc.(stateHasher)
+			h.Bool(ok)
+			if ok {
+				hs.HashState(h)
+			}
+		}
+	})
+	add("robots", func(h *checkpoint.Hasher) {
+		for _, r := range t.robots {
+			h.F64(r.estimate.X)
+			h.F64(r.estimate.Y)
+			h.Bool(r.haveFix)
+			h.Bool(r.scheduleKnown)
+			h.F64(r.clockErr)
+			h.Bool(r.syncedThisPeriod)
+			h.Bool(r.failed)
+			h.Bool(r.crashed)
+			h.F64(r.lastSyncPos.X)
+			h.F64(r.lastSyncPos.Y)
+			h.Bool(r.haveSyncPos)
+			h.F64(r.lastTruePos.X)
+			h.F64(r.lastTruePos.Y)
+			h.Int(len(r.pending))
+			for i := range r.pending {
+				h.F64(r.pending[i].pos.X)
+				h.F64(r.pending[i].pos.Y)
+			}
+			h.Int(r.fixes)
+			h.Int(r.missedWindows)
+			h.Int(r.beaconsApplied)
+			h.Int(r.syncsReceived)
+		}
+		h.Int(t.reportsSent)
+		h.Int(t.reportsDelivered)
+		h.Int(t.reportHops)
+		h.Int(t.crashes)
+	})
+	add("mac", t.med.HashState)
+	add("energy", func(h *checkpoint.Hasher) {
+		for _, r := range t.robots {
+			r.nic.Meter().HashState(h)
+		}
+	})
+	add("faults", func(h *checkpoint.Hasher) {
+		h.Int(len(t.links))
+		for _, l := range t.links {
+			l.HashState(h)
+		}
+	})
+	add("result", func(h *checkpoint.Hasher) {
+		h.Int(len(res.Times))
+		for i := range res.Times {
+			h.F64(res.Times[i])
+			h.F64(res.AvgError[i])
+		}
+		for i := range res.PerRobot {
+			for _, v := range res.PerRobot[i] {
+				h.F64(v)
+			}
+		}
+	})
+	return ds
+}
+
+// verifyDigests compares the replayed state against the snapshot at its
+// capture tick. A digest-set shape difference (another code revision wrote
+// the snapshot) reports the pseudo-subsystem "layout".
+func (t *Team) verifyDigests(snap *checkpoint.Snapshot, res *Result) error {
+	live := t.digests(res)
+	layoutOK := len(live) == len(snap.Digests)
+	if layoutOK {
+		for i := range live {
+			if live[i].Name != snap.Digests[i].Name {
+				layoutOK = false
+				break
+			}
+		}
+	}
+	if !layoutOK {
+		return &checkpoint.DivergenceError{Tick: t.ticks, Subsystems: []string{"layout"}}
+	}
+	var bad []string
+	for i := range live {
+		if live[i].Sum != snap.Digests[i].Sum {
+			bad = append(bad, live[i].Name)
+		}
+	}
+	if len(bad) > 0 {
+		return &checkpoint.DivergenceError{Tick: t.ticks, Subsystems: bad}
+	}
+	return nil
+}
+
+// ConfigFromSnapshot decodes and validates the run configuration embedded
+// in snap. Malformed snapshots fail with a *checkpoint.FormatError
+// (wrapping checkpoint.ErrCorrupt); configurations that decode but fail
+// validation surface the usual *ConfigError.
+func ConfigFromSnapshot(snap *checkpoint.Snapshot) (Config, error) {
+	if snap == nil {
+		return Config{}, &checkpoint.FormatError{Reason: "nil snapshot"}
+	}
+	if err := snap.Validate(); err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(snap.ConfigJSON, &cfg); err != nil {
+		return Config{}, &checkpoint.FormatError{Reason: fmt.Sprintf("decode config: %v", err)}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// ResumeTeamScratch builds the replay team continuing snap under cfg on a
+// reusable run slot (nil sc degenerates to a fresh team). cfg is normally
+// ConfigFromSnapshot's output, optionally with operational fields (e.g.
+// Checkpoint) overridden; semantic divergence from the snapshot's config
+// is caught by digest verification at the capture tick, so a tampered cfg
+// cannot silently masquerade as a resumed run. Running the returned team
+// replays from tick zero, verifies against the snapshot at its tick, and
+// continues to completion with a Result byte-identical to an uninterrupted
+// run's.
+func ResumeTeamScratch(cfg Config, snap *checkpoint.Snapshot, sc *Scratch) (*Team, error) {
+	if snap == nil {
+		return nil, &checkpoint.FormatError{Reason: "nil snapshot"}
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if max := maxSampleTicks(cfg); snap.TickIndex > max {
+		return nil, &checkpoint.FormatError{
+			Reason: fmt.Sprintf("snapshot tick %d beyond the run's %d sampling ticks", snap.TickIndex, max),
+		}
+	}
+	team, err := NewTeamScratch(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	team.verify = snap
+	return team, nil
+}
+
+// ResumeTeam is ResumeTeamScratch without a scratch.
+func ResumeTeam(cfg Config, snap *checkpoint.Snapshot) (*Team, error) {
+	return ResumeTeamScratch(cfg, snap, nil)
+}
+
+// ResumeFrom continues the run captured in snap to completion under ctx:
+// the embedded config is decoded, the run is replayed deterministically
+// from tick zero, the replayed state is verified against the snapshot's
+// digests at its capture tick (mismatch: *checkpoint.DivergenceError), and
+// the completed Result — byte-identical to an uninterrupted run of the
+// same config — is returned.
+func ResumeFrom(ctx context.Context, snap *checkpoint.Snapshot) (*Result, error) {
+	cfg, err := ConfigFromSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	team, err := ResumeTeam(cfg, snap)
+	if err != nil {
+		return nil, err
+	}
+	return team.RunContext(ctx)
+}

@@ -210,6 +210,16 @@ type Config struct {
 	// DESIGN.md §13). Only the grid localizer reads this knob.
 	GridStats string
 
+	// Checkpoint enables mid-run snapshotting: after every EveryTicks-th
+	// sampling tick the run's state is captured and atomically written to
+	// Dir/latest.ckpt, ready for ResumeFrom. The zero value disables
+	// snapshotting entirely. The field is excluded from JSON — and hence
+	// from Result bytes and from the config embedded in snapshots —
+	// because checkpoint placement is an operational property of the
+	// process running the simulation, not of the experiment: two runs
+	// differing only here are byte-identical (see DESIGN.md §14).
+	Checkpoint CheckpointSpec `json:"-"`
+
 	// Faults injects unreliable-network conditions: bursty link loss,
 	// robot crash/recovery outages, RSSI outlier spikes, and per-robot
 	// clock skew. The zero value (the default) injects nothing and leaves
@@ -328,6 +338,10 @@ func (c Config) Validate() error {
 		return configErrorf("NeighborIndex", "%q must be \"grid\" or \"scan\"", c.NeighborIndex)
 	case c.GridStats != "" && c.GridStats != "incremental" && c.GridStats != "eager":
 		return configErrorf("GridStats", "%q must be \"incremental\" or \"eager\"", c.GridStats)
+	case c.Checkpoint.EveryTicks < 0:
+		return configErrorf("Checkpoint", "negative EveryTicks")
+	case c.Checkpoint.EveryTicks > 0 && c.Checkpoint.Dir == "":
+		return configErrorf("Checkpoint", "EveryTicks set without Dir")
 	}
 	if err := c.Radio.Validate(); err != nil {
 		return &ConfigError{Field: "Radio", Reason: err.Error()}

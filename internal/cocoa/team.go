@@ -9,6 +9,7 @@ import (
 
 	"cocoa/internal/bayes"
 	"cocoa/internal/caltable"
+	"cocoa/internal/checkpoint"
 	"cocoa/internal/ekf"
 	"cocoa/internal/faults"
 	"cocoa/internal/geom"
@@ -82,6 +83,20 @@ type Team struct {
 	// construction); RunContext recycles Result buffers through it.
 	scratch *Scratch
 
+	// Checkpoint machinery (see checkpoint.go). root is the run's root RNG
+	// stream, retained so digests can fingerprint the whole stream tree;
+	// ticks counts completed sampling ticks; ckptHook receives a snapshot
+	// every ckptEvery ticks; verify holds the snapshot a resumed run must
+	// match at its capture tick; ckptErr carries a capture/verify failure
+	// out of the event loop.
+	root      *sim.RNG
+	ticks     int
+	ckptEvery int
+	ckptHook  func(*checkpoint.Snapshot) error
+	ckptLabel string
+	verify    *checkpoint.Snapshot
+	ckptErr   error
+
 	// Controller-reporting counters (Config.EnableReporting).
 	reportsSent      int
 	reportsDelivered int
@@ -136,6 +151,7 @@ func NewTeamScratch(cfg Config, sc *Scratch) (*Team, error) {
 		rng:      root.Stream("team"),
 		clockRng: root.Stream("clock"),
 		scratch:  sc,
+		root:     root,
 	}
 	t.updateWorkers = cfg.UpdateWorkers
 	if t.updateWorkers == 0 {
@@ -406,6 +422,7 @@ func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 	// diverge from a context-free one.
 	done := ctx.Done()
 	dt := float64(cfg.SampleIntervalS)
+	t.armCheckpoints()
 	t.sim.EachTick(cfg.SampleIntervalS, cfg.SampleIntervalS, func(now sim.Time) {
 		if done != nil && ctx.Err() != nil {
 			t.sim.Stop()
@@ -416,11 +433,28 @@ func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 		// (no-op under the scan path; consumes no randomness either way).
 		t.med.UpdatePositions()
 		t.sample(res, now)
+		// Checkpoint machinery: verify a pending resume snapshot at its
+		// tick, then capture on the configured cadence. Both read state
+		// without mutating it (digests are side-effect free), so runs
+		// with checkpointing on, off, or resumed stay byte-identical.
+		if t.verify != nil || t.ckptHook != nil {
+			t.onSampleTick(res, now)
+		}
 	})
 
 	t.sim.RunUntil(cfg.DurationS)
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if t.ckptErr != nil {
+		return nil, t.ckptErr
+	}
+	if t.verify != nil {
+		// The run ended before reaching the snapshot's tick — the snapshot
+		// does not belong to this configuration.
+		return nil, &checkpoint.FormatError{
+			Reason: fmt.Sprintf("snapshot tick %d never reached (run sampled %d ticks)", t.verify.TickIndex, t.ticks),
+		}
 	}
 	t.finish(res)
 	return res, nil

@@ -1,0 +1,38 @@
+package ekf
+
+import (
+	"testing"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/geom"
+)
+
+// HashState must distinguish any change to the filter's mean, covariance,
+// or bootstrap buffer, and be deterministic on equal states.
+func TestHashState(t *testing.T) {
+	sum := func(f *Filter) uint64 {
+		h := checkpoint.NewHasher()
+		f.HashState(h)
+		return h.Sum()
+	}
+	mk := func() *Filter {
+		f, err := New(DefaultConfig(geom.Square(200)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := mk(), mk()
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh filters hash differently")
+	}
+	a.ApplyBeacon(geom.Vec2{X: 60, Y: 60}, caltable.GaussianPDF{Mu: 30, Sigma: 2})
+	if sum(a) == sum(b) {
+		t.Fatal("beacon update did not change the digest")
+	}
+	b.ApplyBeacon(geom.Vec2{X: 60, Y: 60}, caltable.GaussianPDF{Mu: 30, Sigma: 2})
+	if sum(a) != sum(b) {
+		t.Fatal("same update sequence produced a different digest")
+	}
+}

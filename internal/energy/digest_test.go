@@ -1,0 +1,37 @@
+package energy
+
+import (
+	"testing"
+
+	"cocoa/internal/checkpoint"
+)
+
+// HashState fingerprints the ledger without accruing: hashing twice is
+// stable, and any state transition or accrual moves the digest.
+func TestHashState(t *testing.T) {
+	sum := func(m *Meter) uint64 {
+		h := checkpoint.NewHasher()
+		m.HashState(h)
+		return h.Sum()
+	}
+	a := NewMeter(DefaultParams(), 0, Idle)
+	b := NewMeter(DefaultParams(), 0, Idle)
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh meters hash differently")
+	}
+	if s := sum(a); s != sum(a) {
+		t.Fatal("hashing is not deterministic")
+	}
+	a.SetState(10, Tx)
+	if sum(a) == sum(b) {
+		t.Fatal("state transition did not change the digest")
+	}
+	b.SetState(10, Tx)
+	if sum(a) != sum(b) {
+		t.Fatal("same transitions produced a different digest")
+	}
+	a.Flush(20)
+	if sum(a) == sum(b) {
+		t.Fatal("accrual did not change the digest")
+	}
+}

@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"testing"
+
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/sim"
+)
+
+// HashState covers both link shapes (with and without a Gilbert–Elliott
+// chain) and must move with every frame the chain consumes.
+func TestLinkHashState(t *testing.T) {
+	sum := func(l *Link) uint64 {
+		h := checkpoint.NewHasher()
+		l.HashState(h)
+		return h.Sum()
+	}
+	mk := func(seed int64) *Link {
+		root := sim.NewRNG(seed)
+		return NewLink(Config{GE: Bursty(0.2, 4)}, root.Stream("loss"), root.Stream("outlier"), 1)
+	}
+	a, b := mk(1), mk(1)
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh links hash differently")
+	}
+	for i := 0; i < 50; i++ {
+		a.Incoming(1, -70)
+	}
+	if sum(a) == sum(b) {
+		t.Fatal("frame traffic did not change the digest")
+	}
+	for i := 0; i < 50; i++ {
+		b.Incoming(1, -70)
+	}
+	if sum(a) != sum(b) {
+		t.Fatal("same traffic produced a different digest")
+	}
+	// A chain-less link hashes its counters only.
+	root := sim.NewRNG(2)
+	plain := NewLink(Config{OutlierProb: 0.5}, root.Stream("loss"), root.Stream("outlier"), 1)
+	before := sum(plain)
+	for i := 0; i < 50; i++ {
+		plain.Incoming(1, -70)
+	}
+	if sum(plain) == before {
+		t.Fatal("outlier counting did not change the chain-less digest")
+	}
+}

@@ -1,0 +1,58 @@
+package mac
+
+import (
+	"testing"
+
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+// HashState fingerprints the medium's aggregate counters, station set,
+// and in-flight transmissions: stable on equal media, moved by topology
+// changes and by traffic.
+func TestHashState(t *testing.T) {
+	sum := func(m *Medium) uint64 {
+		h := checkpoint.NewHasher()
+		m.HashState(h)
+		return h.Sum()
+	}
+	sA, a := newTestMedium(t, 9)
+	_, b := newTestMedium(t, 9)
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh media hash differently")
+	}
+	tx := &fakeEndpoint{pos: geom.Vec2{X: 0, Y: 0}, listening: true}
+	rx := &fakeEndpoint{pos: geom.Vec2{X: 10, Y: 0}, listening: true}
+	a.Attach(0, tx)
+	a.Attach(1, rx)
+	if sum(a) == sum(b) {
+		t.Fatal("attaching stations did not change the digest")
+	}
+	attached := sum(a)
+	if err := a.Send(0, Frame{From: 0, Kind: 1, Bytes: 40}); err != nil {
+		t.Fatal(err)
+	}
+	sA.Run()
+	if sum(a) == attached {
+		t.Fatal("delivered traffic did not change the digest")
+	}
+	// In-flight transmissions are part of the fingerprint: stepping a
+	// transmission halfway must hash differently from the settled medium.
+	s2 := sim.New()
+	cfg := DefaultConfig(a.cfg.Model)
+	c, err := NewMedium(s2, cfg, sim.NewRNG(9).Stream("mac"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Attach(0, &fakeEndpoint{pos: geom.Vec2{X: 0, Y: 0}, listening: true})
+	c.Attach(1, &fakeEndpoint{pos: geom.Vec2{X: 10, Y: 0}, listening: true})
+	if err := c.Send(0, Frame{From: 0, Kind: 1, Bytes: 40}); err != nil {
+		t.Fatal(err)
+	}
+	mid := sum(c)
+	s2.Run()
+	if sum(c) == mid {
+		t.Fatal("completing the transmission did not change the digest")
+	}
+}

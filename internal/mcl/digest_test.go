@@ -1,0 +1,39 @@
+package mcl
+
+import (
+	"testing"
+
+	"cocoa/internal/caltable"
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/geom"
+	"cocoa/internal/sim"
+)
+
+// HashState fingerprints the whole particle cloud: stable on equal
+// states, moved by any reweight/resample.
+func TestHashState(t *testing.T) {
+	sum := func(f *Filter) uint64 {
+		h := checkpoint.NewHasher()
+		f.HashState(h)
+		return h.Sum()
+	}
+	mk := func(seed int64) *Filter {
+		f, err := New(DefaultConfig(geom.Square(200)), sim.NewRNG(seed).Stream("mcl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := mk(3), mk(3)
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh clouds hash differently")
+	}
+	a.ApplyBeacon(geom.Vec2{X: 40, Y: 40}, caltable.GaussianPDF{Mu: 25, Sigma: 3})
+	if sum(a) == sum(b) {
+		t.Fatal("beacon update did not change the digest")
+	}
+	b.ApplyBeacon(geom.Vec2{X: 40, Y: 40}, caltable.GaussianPDF{Mu: 25, Sigma: 3})
+	if sum(a) != sum(b) {
+		t.Fatal("same update sequence produced a different digest")
+	}
+}

@@ -1,0 +1,37 @@
+package mobility
+
+import (
+	"testing"
+
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/sim"
+)
+
+// HashState fingerprints the walker's kinematic state: stable on equal
+// walkers, moved by advancing along the trajectory.
+func TestHashState(t *testing.T) {
+	sum := func(w *Waypoint) uint64 {
+		h := checkpoint.NewHasher()
+		w.HashState(h)
+		return h.Sum()
+	}
+	mk := func(seed int64) *Waypoint {
+		w, err := NewWaypoint(DefaultConfig(2), sim.NewRNG(seed).Stream("mob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := mk(5), mk(5)
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh walkers hash differently")
+	}
+	a.Position(500) // long enough to cross at least one leg boundary
+	if sum(a) == sum(b) {
+		t.Fatal("advancing did not change the digest")
+	}
+	b.Position(500)
+	if sum(a) != sum(b) {
+		t.Fatal("same advance produced a different digest")
+	}
+}

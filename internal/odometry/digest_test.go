@@ -1,0 +1,41 @@
+package odometry
+
+import (
+	"testing"
+
+	"cocoa/internal/checkpoint"
+	"cocoa/internal/geom"
+)
+
+// HashState fingerprints the reckoner: stable on equal states, moved by
+// steps and by re-anchoring.
+func TestHashState(t *testing.T) {
+	sum := func(d *DeadReckoner) uint64 {
+		h := checkpoint.NewHasher()
+		d.HashState(h)
+		return h.Sum()
+	}
+	mk := func() *DeadReckoner {
+		d, err := NewDeadReckoner(DefaultConfig(), zeroNoise{}, geom.Vec2{X: 1, Y: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := mk(), mk()
+	if sum(a) != sum(b) {
+		t.Fatal("identical fresh reckoners hash differently")
+	}
+	a.Step(geom.Vec2{X: 1, Y: 0}, 1)
+	if sum(a) == sum(b) {
+		t.Fatal("a step did not change the digest")
+	}
+	b.Step(geom.Vec2{X: 1, Y: 0}, 1)
+	if sum(a) != sum(b) {
+		t.Fatal("same step produced a different digest")
+	}
+	a.Reanchor(geom.Vec2{X: 9, Y: 9})
+	if sum(a) == sum(b) {
+		t.Fatal("re-anchoring did not change the digest")
+	}
+}

@@ -24,6 +24,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,27 @@ type Options struct {
 	// done is strictly increasing from 1 to total on a fully successful
 	// fan-out.
 	Progress func(done, total int)
+	// CheckpointDir, when non-empty, makes every run of a Runs/RunsEach
+	// fan-out checkpoint into its own subdirectory run-<index>/ beneath it
+	// (see cocoa.CheckpointSpec). Checkpointing is operational: it never
+	// changes result bytes at any parallelism level.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in sampling ticks for
+	// CheckpointDir; <= 0 means cocoa.DefaultCheckpointEveryTicks.
+	CheckpointEvery int
+}
+
+// withCheckpoint returns cfg with the fan-out's checkpoint spec applied
+// for job i (a no-op without a CheckpointDir).
+func (o Options) withCheckpoint(cfg cocoa.Config, i int) cocoa.Config {
+	if o.CheckpointDir == "" {
+		return cfg
+	}
+	cfg.Checkpoint = cocoa.CheckpointSpec{
+		EveryTicks: o.CheckpointEvery,
+		Dir:        filepath.Join(o.CheckpointDir, fmt.Sprintf("run-%04d", i)),
+	}
+	return cfg
 }
 
 // MaxParallelism returns the worker count that saturates the hardware,
@@ -241,7 +263,7 @@ func Runs(ctx context.Context, opts Options, cfgs []cocoa.Config) ([]*cocoa.Resu
 	return Map(ctx, opts, len(cfgs), func(jctx context.Context, i int) (*cocoa.Result, error) {
 		sc := <-pool
 		defer func() { pool <- sc }()
-		return cocoa.RunScratch(jctx, cfgs[i], sc)
+		return cocoa.RunScratch(jctx, opts.withCheckpoint(cfgs[i], i), sc)
 	})
 }
 
@@ -258,7 +280,7 @@ func RunsEach(ctx context.Context, opts Options, cfgs []cocoa.Config, fn func(i 
 	_, err := Map(ctx, opts, len(cfgs), func(jctx context.Context, i int) (struct{}, error) {
 		sc := <-pool
 		defer func() { pool <- sc }()
-		res, err := cocoa.RunScratch(jctx, cfgs[i], sc)
+		res, err := cocoa.RunScratch(jctx, opts.withCheckpoint(cfgs[i], i), sc)
 		if err != nil {
 			return struct{}{}, err
 		}

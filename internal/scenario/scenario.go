@@ -66,6 +66,15 @@ type Options struct {
 	// Progress, when non-nil, is invoked after each completed run of the
 	// current experiment with (done, total). Invocations are serialized.
 	Progress func(done, total int)
+
+	// CheckpointDir, when non-empty, makes every simulation run of the
+	// experiment persist resumable snapshots beneath it, one run-<index>/
+	// subdirectory per sweep run (see cocoa.CheckpointSpec). Operational
+	// only: results stay byte-identical with or without it.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in sampling ticks for
+	// CheckpointDir; <= 0 means cocoa.DefaultCheckpointEveryTicks.
+	CheckpointEvery int
 }
 
 // runAll executes prepared sweep configs on the experiment engine,
@@ -73,8 +82,10 @@ type Options struct {
 // in-flight runs; a nil ctx means context.Background().
 func (o Options) runAll(ctx context.Context, cfgs []cocoa.Config) ([]*cocoa.Result, error) {
 	return runner.Runs(ctx, runner.Options{
-		Parallelism: o.Parallelism,
-		Progress:    o.Progress,
+		Parallelism:     o.Parallelism,
+		Progress:        o.Progress,
+		CheckpointDir:   o.CheckpointDir,
+		CheckpointEvery: o.CheckpointEvery,
 	}, cfgs)
 }
 
@@ -85,8 +96,10 @@ func (o Options) runAll(ctx context.Context, cfgs []cocoa.Config) ([]*cocoa.Resu
 // the parallelism cap; distinct calls always carry distinct indices.
 func (o Options) runEach(ctx context.Context, cfgs []cocoa.Config, fn func(i int, res *cocoa.Result) error) error {
 	return runner.RunsEach(ctx, runner.Options{
-		Parallelism: o.Parallelism,
-		Progress:    o.Progress,
+		Parallelism:     o.Parallelism,
+		Progress:        o.Progress,
+		CheckpointDir:   o.CheckpointDir,
+		CheckpointEvery: o.CheckpointEvery,
 	}, cfgs, fn)
 }
 

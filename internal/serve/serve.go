@@ -23,6 +23,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,17 +74,32 @@ type Config struct {
 	// RetryAfter is the backpressure hint returned with 429/503 responses;
 	// 0 means 1 second.
 	RetryAfter time.Duration
+	// StateDir, when non-empty, makes jobs durable: every accepted job's
+	// request is persisted beneath it at submission, raw-config jobs
+	// additionally checkpoint their simulation state there while running
+	// (see cocoa.CheckpointSpec), and a restarted daemon re-enqueues the
+	// survivors with RecoverJobs — resuming raw-config jobs from their
+	// snapshots instead of tick zero. Empty keeps the service fully
+	// in-memory, exactly as before.
+	StateDir string
+	// CheckpointEveryTicks is the snapshot cadence (sampling ticks) for
+	// durable raw-config jobs; <= 0 means cocoa.DefaultCheckpointEveryTicks.
+	CheckpointEveryTicks int
 }
 
 // State is a job's lifecycle position. Transitions are strictly
 // queued -> running -> {done, failed}, with canceled reachable from
-// queued (never ran) or running (stopped cooperatively).
+// queued (never ran) or running (stopped cooperatively). A job recovered
+// from a previous process enters resumed instead of running — the same
+// position in the lifecycle, distinguished so clients can tell a
+// continued job from a first execution.
 type State string
 
 // Job states.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
+	StateResumed  State = "resumed"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
@@ -123,6 +143,9 @@ type JobStatus struct {
 	// a raw-config job is a single run.
 	RunsDone  int `json:"runs_done"`
 	RunsTotal int `json:"runs_total"`
+	// Resumed marks a job recovered from a previous process's state
+	// directory (its execution state is "resumed" while it replays).
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // Job is one tracked submission.
@@ -130,13 +153,20 @@ type Job struct {
 	id   string
 	kind string
 
-	mu      sync.Mutex
-	state   State
-	errMsg  string
-	result  []byte
-	done    int
-	total   int
-	changed chan struct{}
+	// resumed marks a job recovered by RecoverJobs; stateDir is the job's
+	// persistence directory ("" for an in-memory job). Both are fixed
+	// before the job is enqueued and never change.
+	resumed  bool
+	stateDir string
+
+	mu         sync.Mutex
+	state      State
+	errMsg     string
+	result     []byte
+	done       int
+	total      int
+	userCancel bool
+	changed    chan struct{}
 
 	handle *runner.Handle[[]byte]
 }
@@ -150,7 +180,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	return JobStatus{
 		ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg,
-		RunsDone: j.done, RunsTotal: j.total,
+		RunsDone: j.done, RunsTotal: j.total, Resumed: j.resumed,
 	}
 }
 
@@ -161,13 +191,27 @@ func (j *Job) Watch() (JobStatus, <-chan struct{}) {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg,
-		RunsDone: j.done, RunsTotal: j.total,
+		RunsDone: j.done, RunsTotal: j.total, Resumed: j.resumed,
 	}
 	return st, j.changed
 }
 
-// Cancel asks the job to stop; safe on terminal jobs.
-func (j *Job) Cancel() { j.handle.Cancel() }
+// Cancel asks the job to stop; safe on terminal jobs. A user cancel also
+// releases the job's persisted state — an explicitly abandoned job is not
+// resumed after a restart.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	j.userCancel = true
+	j.mu.Unlock()
+	j.handle.Cancel()
+}
+
+// userCanceled reports whether Cancel was called on this job.
+func (j *Job) userCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
+}
 
 // Result returns the stored result bytes once the job is done.
 func (j *Job) Result() ([]byte, bool) {
@@ -190,6 +234,9 @@ func (j *Job) setRunning() {
 	defer j.mu.Unlock()
 	if j.state == StateQueued {
 		j.state = StateRunning
+		if j.resumed {
+			j.state = StateResumed
+		}
 		j.broadcast()
 	}
 }
@@ -306,6 +353,42 @@ func (s *Server) timeout(req JobRequest) time.Duration {
 	return d
 }
 
+// buildExec validates req and constructs the job's execution closure,
+// setting j.kind. The closure may read j.id and j.stateDir: both are fixed
+// before the job reaches the pool.
+func (s *Server) buildExec(req JobRequest, j *Job) (func(ctx context.Context) ([]byte, error), error) {
+	switch {
+	case s.runFn != nil:
+		j.kind = req.Experiment
+		if req.Config != nil {
+			j.kind = "config"
+		}
+		return func(ctx context.Context) ([]byte, error) { return s.runFn(ctx, j) }, nil
+	case req.Config != nil:
+		cfg := *req.Config
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context) ([]byte, error) {
+			return s.runConfig(ctx, cfg, j)
+		}, nil
+	default:
+		d, ok := findExperiment(req.Experiment)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown experiment %q", ErrBadRequest, req.Experiment)
+		}
+		j.kind = d.Name
+		opts := experimentOptions(req.Options, j)
+		return func(ctx context.Context) ([]byte, error) {
+			v, err := d.Run(ctx, opts)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(v)
+		}, nil
+	}
+}
+
 // Submit validates req and enqueues it. Error taxonomy: *cocoa.ConfigError
 // (wrapping cocoa.ErrInvalidConfig) for bad configs, ErrBadRequest for
 // malformed submissions, runner.ErrQueueFull under backpressure,
@@ -315,46 +398,21 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		telRejectedInvalid.Inc()
 		return nil, fmt.Errorf("%w: exactly one of config or experiment must be set", ErrBadRequest)
 	}
-
 	j := &Job{kind: "config", state: StateQueued, total: 1, changed: make(chan struct{})}
-	var exec func(ctx context.Context) ([]byte, error)
-	switch {
-	case s.runFn != nil:
-		j.kind = req.Experiment
-		if req.Config != nil {
-			j.kind = "config"
-		}
-		exec = func(ctx context.Context) ([]byte, error) { return s.runFn(ctx, j) }
-	case req.Config != nil:
-		cfg := *req.Config
-		if err := cfg.Validate(); err != nil {
-			telRejectedInvalid.Inc()
-			return nil, err
-		}
-		exec = func(ctx context.Context) ([]byte, error) {
-			res, err := cocoa.RunContext(ctx, cfg)
-			if err != nil {
-				return nil, err
-			}
-			return json.Marshal(res)
-		}
-	default:
-		d, ok := findExperiment(req.Experiment)
-		if !ok {
-			telRejectedInvalid.Inc()
-			return nil, fmt.Errorf("%w: unknown experiment %q", ErrBadRequest, req.Experiment)
-		}
-		j.kind = d.Name
-		opts := experimentOptions(req.Options, j)
-		exec = func(ctx context.Context) ([]byte, error) {
-			v, err := d.Run(ctx, opts)
-			if err != nil {
-				return nil, err
-			}
-			return json.Marshal(v)
-		}
+	exec, err := s.buildExec(req, j)
+	if err != nil {
+		telRejectedInvalid.Inc()
+		return nil, err
 	}
+	return s.enqueue(req, j, exec, "")
+}
 
+// enqueue admits a prepared job under the service's backpressure and drain
+// policy. fixedID is empty for fresh submissions (the job gets the next
+// sequence ID and, with a StateDir, its request is persisted) and a
+// recovered job's existing ID during RecoverJobs (its directory is already
+// on disk).
+func (s *Server) enqueue(req JobRequest, j *Job, exec func(ctx context.Context) ([]byte, error), fixedID string) (*Job, error) {
 	jctx := s.root
 	var cancelTimeout context.CancelFunc
 	if d := s.timeout(req); d > 0 {
@@ -370,14 +428,38 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		telRejectedDraining.Inc()
 		return nil, ErrDraining
 	}
-	s.seq++
-	j.id = fmt.Sprintf("job-%06d", s.seq)
+	persisted := false
+	if fixedID == "" {
+		s.seq++
+		j.id = fmt.Sprintf("job-%06d", s.seq)
+		if s.cfg.StateDir != "" {
+			j.stateDir = filepath.Join(s.cfg.StateDir, j.id)
+			if err := writeJobRecord(j.stateDir, jobRecord{ID: j.id, Request: req}); err != nil {
+				s.seq--
+				s.mu.Unlock()
+				if cancelTimeout != nil {
+					cancelTimeout()
+				}
+				telRejectedInvalid.Inc()
+				return nil, fmt.Errorf("serve: persist job: %w", err)
+			}
+			persisted = true
+		}
+	} else {
+		j.id = fixedID
+		j.stateDir = filepath.Join(s.cfg.StateDir, j.id)
+	}
 	h, err := s.pool.TrySubmit(jctx, func(ctx context.Context) ([]byte, error) {
 		j.setRunning()
 		return exec(ctx)
 	})
 	if err != nil {
-		s.seq--
+		if fixedID == "" {
+			s.seq--
+		}
+		if persisted {
+			os.RemoveAll(j.stateDir)
+		}
 		s.mu.Unlock()
 		if cancelTimeout != nil {
 			cancelTimeout()
@@ -402,6 +484,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		defer s.settlers.Done()
 		b, err := h.Result()
 		j.finalize(b, err)
+		s.finishState(j, err)
 		if cancelTimeout != nil {
 			cancelTimeout()
 		}
@@ -466,4 +549,161 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-drained
 		return ctx.Err()
 	}
+}
+
+// runConfig executes a raw-config job. With a state directory the run
+// checkpoints into it, and — when a snapshot from a previous process is
+// already there — resumes from that snapshot instead of tick zero. Every
+// resume is digest-verified replay (see internal/checkpoint), so a stale
+// or tampered snapshot fails loudly rather than silently diverging; any
+// other resume-path problem (missing/corrupt snapshot file) falls back to
+// a fresh run, which is always correct, just slower.
+func (s *Server) runConfig(ctx context.Context, cfg cocoa.Config, j *Job) ([]byte, error) {
+	if j.stateDir != "" {
+		cfg.Checkpoint = cocoa.CheckpointSpec{
+			EveryTicks: s.cfg.CheckpointEveryTicks,
+			Dir:        j.stateDir,
+		}
+		if snap, err := cocoa.ReadSnapshot(filepath.Join(j.stateDir, cocoa.CheckpointFile)); err == nil {
+			rcfg, cerr := cocoa.ConfigFromSnapshot(snap)
+			if cerr == nil {
+				rcfg.Checkpoint = cfg.Checkpoint
+				team, terr := cocoa.ResumeTeam(rcfg, snap)
+				if terr == nil {
+					res, rerr := team.RunContext(ctx)
+					if rerr != nil {
+						return nil, rerr
+					}
+					return json.Marshal(res)
+				}
+			}
+		}
+	}
+	res, err := cocoa.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// finishState applies the durable-state retention policy when a job
+// settles. Jobs that ended on their own terms — done, failed on a real
+// error, or canceled by the user — release their directory. Jobs killed
+// by the process (drain hard-cancel) or by their deadline keep it, so a
+// restarted daemon can pick them back up where the snapshot left off.
+func (s *Server) finishState(j *Job, err error) {
+	if j.stateDir == "" {
+		return
+	}
+	interrupted := errors.Is(err, context.DeadlineExceeded) ||
+		(errors.Is(err, context.Canceled) && !j.userCanceled())
+	if !interrupted {
+		os.RemoveAll(j.stateDir)
+	}
+}
+
+// jobRecord is the durable form of an accepted job: enough to re-create
+// the submission verbatim after a restart.
+type jobRecord struct {
+	ID      string     `json:"id"`
+	Request JobRequest `json:"request"`
+}
+
+// writeJobRecord persists rec into dir as job.json, wiping any stale
+// contents first — a fresh submission must never inherit a previous
+// process's snapshot under a recycled job ID.
+func writeJobRecord(dir string, rec jobRecord) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ".job.json.tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "job.json"))
+}
+
+// readJobRecord loads dir/job.json.
+func readJobRecord(dir string) (jobRecord, error) {
+	var rec jobRecord
+	b, err := os.ReadFile(filepath.Join(dir, "job.json"))
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// RecoverJobs re-enqueues the jobs a previous process left behind in
+// StateDir, in job-ID order, and returns the recovered IDs. Raw-config
+// jobs resume from their latest snapshot (digest-verified); experiment
+// jobs rerun from their persisted request. The sequence counter is
+// restored above the highest recovered ID so new submissions never
+// collide with recovered directories. Unreadable entries are discarded.
+// If the queue fills mid-recovery, recovery stops and the remaining
+// directories stay on disk for the next restart.
+func (s *Server) RecoverJobs() ([]string, error) {
+	if s.cfg.StateDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	maxSeq := 0
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "job-") {
+			continue
+		}
+		ids = append(ids, e.Name())
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "job-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	sort.Strings(ids)
+	s.mu.Lock()
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	s.mu.Unlock()
+
+	var recovered []string
+	for _, id := range ids {
+		dir := filepath.Join(s.cfg.StateDir, id)
+		rec, err := readJobRecord(dir)
+		if err != nil || rec.ID != id {
+			os.RemoveAll(dir)
+			continue
+		}
+		j := &Job{kind: "config", state: StateQueued, total: 1,
+			changed: make(chan struct{}), resumed: true}
+		exec, err := s.buildExec(rec.Request, j)
+		if err != nil {
+			os.RemoveAll(dir)
+			continue
+		}
+		if _, err := s.enqueue(rec.Request, j, exec, id); err != nil {
+			if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, ErrDraining) {
+				return recovered, nil
+			}
+			os.RemoveAll(dir)
+			continue
+		}
+		recovered = append(recovered, id)
+	}
+	return recovered, nil
 }

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"cocoa/internal/checkpoint"
+)
+
+// HashState / HashTree fingerprint the full generator state: equal seeds
+// and draw histories hash equal; any draw or derived stream moves the
+// tree digest.
+func TestRNGHashTree(t *testing.T) {
+	tree := func(g *RNG) uint64 {
+		h := checkpoint.NewHasher()
+		g.HashTree(h)
+		return h.Sum()
+	}
+	a, b := NewRNG(1), NewRNG(1)
+	if tree(a) != tree(b) {
+		t.Fatal("identical fresh roots hash differently")
+	}
+	if tree(NewRNG(2)) == tree(a) {
+		t.Fatal("different seeds hash equal")
+	}
+	// Deriving a stream registers it on the root's tree.
+	as := a.Stream("mac")
+	if tree(a) == tree(b) {
+		t.Fatal("deriving a stream did not change the tree digest")
+	}
+	bs := b.Stream("mac")
+	if tree(a) != tree(b) {
+		t.Fatal("same derivation produced different tree digests")
+	}
+	// A draw anywhere in the tree moves the root's digest.
+	as.Float64()
+	if tree(a) == tree(b) {
+		t.Fatal("a draw did not change the tree digest")
+	}
+	bs.Float64()
+	if tree(a) != tree(b) {
+		t.Fatal("same draw history produced different tree digests")
+	}
+	// HashState on the child alone distinguishes drawn from fresh.
+	state := func(g *RNG) uint64 {
+		h := checkpoint.NewHasher()
+		g.HashState(h)
+		return h.Sum()
+	}
+	before := state(as)
+	as.Intn(10)
+	if state(as) == before {
+		t.Fatal("Intn did not change the stream digest")
+	}
+}
