@@ -76,18 +76,21 @@ bench-smoke:
 
 # bench-json refreshes the checked-in benchmark trajectory
 # from a full -benchmem run; see README "Benchmark tracking" for the format.
-BENCHJSON_OUT ?= BENCH_PR9.json
+BENCHJSON_OUT ?= BENCH_PR10.json
 
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCHJSON_OUT)
 
-# bench-compare re-times just the headline benchmarks (root package) and
-# fails on a >25% regression against the checked-in baseline — in ns/op,
-# and in B/op / allocs/op wherever the baseline carries -benchmem columns.
-BENCH_BASELINE ?= BENCH_PR8.json
+# bench-compare re-times just the headline benchmarks (the root package's
+# end-to-end paths plus the telemetry layer's disabled-path record costs)
+# and fails on a >25% regression against the checked-in baseline — in
+# ns/op, and in B/op / allocs/op wherever the baseline carries -benchmem
+# columns.
+BENCH_BASELINE ?= BENCH_PR9.json
 
 bench-compare:
-	$(GO) test -run='^$$' -bench='^(BenchmarkReplicationSerial|BenchmarkFig4OdometryOnly|BenchmarkSwarmSim1000)$$' -benchmem . \
+	{ $(GO) test -run='^$$' -bench='^(BenchmarkReplicationSerial|BenchmarkFig4OdometryOnly|BenchmarkSwarmSim1000)$$' -benchmem . && \
+	  $(GO) test -run='^$$' -bench='^(BenchmarkCounterIncDisabled|BenchmarkHistogramObserveDisabled|BenchmarkSpanSimDisabled)$$' -benchmem ./internal/telemetry ; } \
 		| $(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE)
 
 clean:

@@ -117,13 +117,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 // defaultHeadlines are the benchmarks the repo tracks PR-over-PR: the
 // serial replication run (the end-to-end hot path), the odometry-only
-// figure (the cheapest full-stack workload), and the 1000-robot swarm tick
-// (the MAC/sampling scale stressor). make check gates on these against the
-// checked-in baseline.
+// figure (the cheapest full-stack workload), the 1000-robot swarm tick
+// (the MAC/sampling scale stressor), and the disabled-path record costs
+// of the telemetry layer (the records-never-steers overhead the
+// observability stack promises stays at a single branch). make check
+// gates on these against the checked-in baseline.
 var defaultHeadlines = []string{
 	"cocoa.BenchmarkReplicationSerial",
 	"cocoa.BenchmarkFig4OdometryOnly",
 	"cocoa.BenchmarkSwarmSim1000/grid",
+	"cocoa/internal/telemetry.BenchmarkCounterIncDisabled",
+	"cocoa/internal/telemetry.BenchmarkHistogramObserveDisabled",
+	"cocoa/internal/telemetry.BenchmarkSpanSimDisabled",
 }
 
 func splitHeadlines(s string) []string {

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"cocoa/internal/obs"
 	"cocoa/internal/serve"
 	"cocoa/internal/telemetry"
 )
@@ -65,7 +66,12 @@ func run(args []string) error {
 		stateDir     = fs.String("state-dir", "", "persist job state beneath this directory and resume interrupted jobs on startup")
 		ckptEvery    = fs.Int("checkpoint-every", 0, "snapshot cadence in sampling ticks for durable jobs (0 = default cadence)")
 	)
+	logOpts := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logOpts.NewLogger(stderr)
+	if err != nil {
 		return err
 	}
 
@@ -75,7 +81,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "debug server listening on http://%s/debug/vars\n", actual)
+		logger.Info("debug server listening", "addr", "http://"+actual+"/debug/vars")
 	}
 
 	srv := serve.New(serve.Config{
@@ -85,6 +91,7 @@ func run(args []string) error {
 		MaxTimeout:           *maxTimeout,
 		StateDir:             *stateDir,
 		CheckpointEveryTicks: *ckptEvery,
+		Logger:               logger,
 	})
 
 	if *smoke != "" {
@@ -99,7 +106,7 @@ func run(args []string) error {
 		return fmt.Errorf("recover jobs: %w", err)
 	}
 	for _, id := range recovered {
-		fmt.Fprintf(stderr, "cocoad: resuming %s from %s\n", id, *stateDir)
+		logger.Info("resuming job from state dir", "job", id, "state_dir", *stateDir)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -107,8 +114,8 @@ func run(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(stderr, "cocoad listening on http://%s (workers=%d queue=%d)\n",
-		ln.Addr(), *workers, *queueDepth)
+	logger.Info("cocoad listening",
+		"addr", "http://"+ln.Addr().String(), "workers", *workers, "queue", *queueDepth)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -123,7 +130,7 @@ func run(args []string) error {
 
 	// Graceful drain: stop intake first so new submissions see 503 while
 	// accepted jobs finish, then close the HTTP listener.
-	fmt.Fprintln(stderr, "cocoad: draining...")
+	logger.Info("draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := srv.Shutdown(drainCtx)
@@ -133,6 +140,6 @@ func run(args []string) error {
 	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
 		return drainErr
 	}
-	fmt.Fprintln(stderr, "cocoad: drained, exiting")
+	logger.Info("drained, exiting")
 	return nil
 }

@@ -39,7 +39,7 @@ func (s *syncBuf) String() string {
 	return s.b.String()
 }
 
-var listenRE = regexp.MustCompile(`listening on http://([^ ]+) `)
+var listenRE = regexp.MustCompile(`msg="cocoad listening" addr=http://([^ ]+) `)
 
 // startDaemon runs the daemon in-process on an ephemeral port and waits
 // for its listen line. The returned channel yields run's error on exit.
@@ -160,7 +160,7 @@ func TestRestartAfterSIGTERMResumesJob(t *testing.T) {
 	stderr = bufB
 	urlB, doneB := startDaemon(t, bufB, "-addr", "127.0.0.1:0",
 		"-state-dir", stateDir, "-checkpoint-every", "40", "-workers", "1")
-	if want := "cocoad: resuming " + st.ID; !bytes.Contains([]byte(bufB.String()), []byte(want)) {
+	if want := `msg="resuming job from state dir" job=` + st.ID; !bytes.Contains([]byte(bufB.String()), []byte(want)) {
 		t.Fatalf("daemon B did not announce recovery; stderr:\n%s", bufB.String())
 	}
 	var fin serve.JobStatus

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cocoa"
+	"cocoa/internal/obs"
 	"cocoa/internal/scenario"
 	"cocoa/internal/serve"
 )
@@ -122,5 +123,37 @@ func runSmoke(srv *serve.Server, goldenPath string) error {
 			family, goldenPath, got, want)
 	}
 	fmt.Fprintf(stderr, "smoke: family %q byte-identical to %s\n", family, goldenPath)
+	if err := smokeMetrics(base); err != nil {
+		return err
+	}
+	return nil
+}
+
+// smokeMetrics scrapes the freshly exercised server's /metrics endpoint
+// and runs the full in-repo exposition lint over it, so every `make
+// check` proves the Prometheus surface stays parseable and well-formed
+// with real job and simulation series present.
+func smokeMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: /metrics returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		return fmt.Errorf("smoke: /metrics content type %q, want %q", ct, obs.ContentType)
+	}
+	exp, err := obs.LintReader(resp.Body)
+	if err != nil {
+		return fmt.Errorf("smoke: /metrics failed exposition lint: %w", err)
+	}
+	for _, name := range []string{"cocoad_jobs", "cocoad_pool_workers", "go_goroutines"} {
+		if _, ok := exp.Families[name]; !ok {
+			return fmt.Errorf("smoke: /metrics missing expected family %q", name)
+		}
+	}
+	fmt.Fprintf(stderr, "smoke: /metrics lint clean (%d families)\n", len(exp.Order))
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 
 	"cocoa"
 	"cocoa/internal/checkpoint"
+	"cocoa/internal/obs"
 	"cocoa/internal/runner"
 	"cocoa/internal/telemetry"
 )
@@ -77,7 +78,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		ckptEvery = fs.Int("checkpoint-every", 0, "snapshot cadence in sampling ticks (0 = default cadence)")
 		resumeCk  = fs.String("resume", "", "resume one interrupted run from this snapshot file and print its summary (ignores -fig)")
 	)
+	logOpts := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logOpts.NewLogger(stderr)
+	if err != nil {
 		return err
 	}
 
@@ -93,7 +99,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "debug server listening on http://%s/debug/vars\n", actual)
+		logger.Info("debug server listening", "addr", "http://"+actual+"/debug/vars")
 	}
 
 	prof := runner.ProfileConfig{CPUPath: *cpuProf, MemPath: *memProf, TracePath: *traceOut}
@@ -104,7 +110,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				fmt.Fprintln(os.Stderr, "cocoaexp:", err)
+				logger.Error("profile shutdown failed", "error", err.Error())
 			}
 		}()
 	}
@@ -119,7 +125,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -gridstats %q (incremental or eager)", *gridStats)
 	}
-	opts := cocoa.ExperimentOptions{Seed: *seed, NeighborIndex: *index, GridStats: *gridStats}
+	opts := cocoa.ExperimentOptions{Seed: *seed, NeighborIndex: *index, GridStats: *gridStats, Logger: logger}
 	if *quick {
 		opts.DurationS = 300
 		opts.NumRobots = 12

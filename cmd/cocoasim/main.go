@@ -17,6 +17,7 @@ import (
 
 	"cocoa"
 	"cocoa/internal/eventlog"
+	"cocoa/internal/obs"
 	"cocoa/internal/trace"
 )
 
@@ -67,8 +68,14 @@ func run(args []string, w io.Writer) error {
 		ckptDir     = fs.String("checkpoint", "", "persist a resumable snapshot (latest.ckpt) into this directory during the run")
 		ckptEvery   = fs.Int("checkpoint-every", 0, "snapshot cadence in sampling ticks (0 = default cadence)")
 		resumePath  = fs.String("resume", "", "resume from this snapshot file instead of starting a new run (other config flags are ignored)")
+		traceOut    = fs.String("trace-out", "", "record a span timeline and write it as Chrome trace-event JSON to this file (load in Perfetto)")
 	)
+	logOpts := obs.AddLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -118,8 +125,13 @@ func run(args []string, w io.Writer) error {
 		return enc.Encode(cfg)
 	}
 
+	var tracer *cocoa.Trace
+	if *traceOut != "" {
+		tracer = cocoa.NewTrace()
+		cfg.Trace = tracer
+	}
+
 	var team *cocoa.Team
-	var err error
 	if *resumePath != "" {
 		// Resume mode: the snapshot's embedded config replaces the flag
 		// assembly above wholesale; only the operational checkpoint flags
@@ -135,11 +147,11 @@ func run(args []string, w io.Writer) error {
 		if *ckptDir != "" {
 			cfg.Checkpoint = cocoa.CheckpointSpec{EveryTicks: *ckptEvery, Dir: *ckptDir}
 		}
-		fmt.Fprintf(os.Stderr, "cocoasim: resuming from %s (tick %d, t=%.0fs", *resumePath, snap.TickIndex, snap.SimNowS)
-		if snap.Label != "" {
-			fmt.Fprintf(os.Stderr, ", label %q", snap.Label)
+		if tracer != nil {
+			cfg.Trace = tracer
 		}
-		fmt.Fprintln(os.Stderr, ")")
+		logger.Info("resuming from snapshot", "path", *resumePath,
+			"tick", snap.TickIndex, "sim_s", snap.SimNowS, "label", snap.Label)
 		team, err = cocoa.ResumeTeam(cfg, snap)
 	} else {
 		team, err = cocoa.NewTeam(cfg)
@@ -166,6 +178,12 @@ func run(args []string, w io.Writer) error {
 		if err := evWriter.Close(); err != nil {
 			return err
 		}
+	}
+	if tracer != nil {
+		if err := writeFile(*traceOut, tracer.WriteJSON); err != nil {
+			return err
+		}
+		logger.Info("trace written", "path", *traceOut, "events", tracer.Len())
 	}
 
 	if *seriesFile != "" {

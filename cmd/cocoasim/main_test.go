@@ -242,3 +242,48 @@ func TestRunResumeCorruptSnapshot(t *testing.T) {
 		t.Fatalf("corrupt snapshot: err=%v, want a checkpoint format error", err)
 	}
 }
+
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/run.trace.json"
+	var buf bytes.Buffer
+	if err := run(fastArgs("-trace-out", path, "-json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := cocoa.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("written trace fails the strict decoder: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"run", "sampling-window", "mac-frame", "belief-update"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span", want)
+		}
+	}
+}
+
+func TestRunTraceOutUnwritable(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(fastArgs("-trace-out", t.TempDir()+"/no/such/dir/t.json", "-json"), &buf)
+	if err == nil {
+		t.Fatal("unwritable -trace-out accepted")
+	}
+}
+
+func TestRunRejectsBadLogFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fastArgs("-log-format", "yaml"), &buf); err == nil {
+		t.Error("unknown -log-format accepted")
+	}
+	if err := run(fastArgs("-log-level", "loud"), &buf); err == nil {
+		t.Error("unknown -log-level accepted")
+	}
+}

@@ -23,6 +23,7 @@ package cocoa
 
 import (
 	"context"
+	"io"
 
 	"cocoa/internal/caltable"
 	"cocoa/internal/checkpoint"
@@ -32,6 +33,7 @@ import (
 	"cocoa/internal/geom"
 	"cocoa/internal/georouting"
 	"cocoa/internal/mobility"
+	"cocoa/internal/obs"
 	"cocoa/internal/odometry"
 	"cocoa/internal/radio"
 	"cocoa/internal/runner"
@@ -146,6 +148,30 @@ type (
 // ErrSnapshotCorrupt classifies snapshot decoding failures (truncated or
 // corrupted bytes, wrong version): errors.Is(err, ErrSnapshotCorrupt).
 var ErrSnapshotCorrupt = checkpoint.ErrCorrupt
+
+// Observability: a run with Config.Progress set publishes its live tick
+// position through a lock-free gauge, and one with Config.Trace set
+// records a span timeline exportable as Chrome trace-event JSON (load it
+// in Perfetto). Both record, never steer — results are byte-identical
+// with either attached or not. See DESIGN.md §15.
+type (
+	// Progress is the lock-free live-position gauge (Config.Progress,
+	// ExperimentOptions.Gauge): current sampling tick, sweep run index,
+	// and a wall-clock ETA derived at read time.
+	Progress = obs.Progress
+	// Trace records hierarchical run spans on the simulation's virtual
+	// clock (Config.Trace); WriteJSON emits Chrome trace-event JSON.
+	Trace = obs.Trace
+	// TraceEvent is one record of an exported trace.
+	TraceEvent = obs.TraceEvent
+)
+
+// NewTrace returns an empty span recorder for Config.Trace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// ReadTrace strictly decodes Chrome trace-event JSON written by
+// Trace.WriteJSON, verifying phases and begin/end span balance.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadTrace(r) }
 
 // Checkpoint file-sink constants: a checkpointing run atomically replaces
 // CheckpointFile in its Checkpoint.Dir; EveryTicks <= 0 means

@@ -121,6 +121,11 @@ func (t *Team) capture(res *Result, now sim.Time) error {
 	if err != nil {
 		return err
 	}
+	if t.tracer != nil {
+		t.tracer.Instant(0, "checkpoint", float64(now), map[string]any{
+			"tick": t.ticks, "label": t.ckptLabel,
+		})
+	}
 	return t.ckptHook(snap)
 }
 

@@ -25,6 +25,7 @@ import (
 	"cocoa/internal/geom"
 	"cocoa/internal/mobility"
 	"cocoa/internal/mrmm"
+	"cocoa/internal/obs"
 	"cocoa/internal/odometry"
 	"cocoa/internal/radio"
 	"cocoa/internal/sim"
@@ -219,6 +220,22 @@ type Config struct {
 	// process running the simulation, not of the experiment: two runs
 	// differing only here are byte-identical (see DESIGN.md §14).
 	Checkpoint CheckpointSpec `json:"-"`
+
+	// Progress, when non-nil, receives the run's live position: the
+	// simulation loop publishes (sampling tick, total ticks) through one
+	// atomic store per tick. Like Checkpoint it is excluded from JSON —
+	// it describes how the hosting process watches the run, not the
+	// experiment — and it is strictly write-only for the simulation, so
+	// runs with and without it are byte-identical (DESIGN.md §15).
+	Progress *obs.Progress `json:"-"`
+
+	// Trace, when non-nil, records the run's span timeline (run →
+	// sampling-window → {mac-frame, belief-update, checkpoint}) on the
+	// simulation's virtual clock for export as Chrome trace-event JSON.
+	// Excluded from JSON for the same reason as Progress; the recorder is
+	// append-only and nothing in the run reads it back, so tracing never
+	// steers results (DESIGN.md §15).
+	Trace *obs.Trace `json:"-"`
 
 	// Faults injects unreliable-network conditions: bursty link loss,
 	// robot crash/recovery outages, RSSI outlier spikes, and per-robot

@@ -1,0 +1,120 @@
+package cocoa
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"cocoa/internal/obs"
+	"cocoa/internal/telemetry"
+)
+
+// The observability layer inherits telemetry's prime directive: progress
+// publication and span tracing record, they never steer. Attaching both
+// must not perturb a single bit of any Result — nor any telemetry
+// counter — at any intra-run worker count. (make check runs this under
+// -race, which also exercises the progress gauge against concurrent
+// readers of the serve layer's shape.)
+func TestObsProgressTraceOnOffByteIdentical(t *testing.T) {
+	wasEnabled := telemetry.Default.Enabled()
+	defer telemetry.Default.SetEnabled(wasEnabled)
+	telemetry.Default.SetEnabled(true)
+
+	type outcome struct {
+		result     *Result
+		resultJSON string
+		counters   map[string]int64
+	}
+	run := func(workers int, withObs bool) outcome {
+		cfg := testConfig()
+		cfg.UpdateWorkers = workers
+		var progress *obs.Progress
+		if withObs {
+			progress = &obs.Progress{}
+			cfg.Progress = progress
+			cfg.Trace = obs.NewTrace()
+		}
+		before := telemetry.Default.Snapshot()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := telemetry.Diff(before, telemetry.Default.Snapshot())
+		counters := map[string]int64{}
+		for _, c := range d.Counters {
+			counters[c.Name] = c.Value
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withObs {
+			// The run must have actually published and recorded.
+			tick, total := progress.Ticks()
+			if total == 0 || tick != total {
+				t.Errorf("workers=%d: progress ended at %d/%d, want full", workers, tick, total)
+			}
+			if cfg.Trace.Len() == 0 {
+				t.Errorf("workers=%d: trace recorded no events", workers)
+			}
+			var buf bytes.Buffer
+			if err := cfg.Trace.WriteJSON(&buf); err != nil {
+				t.Fatalf("workers=%d: WriteJSON: %v", workers, err)
+			}
+			if _, err := obs.ReadTrace(&buf); err != nil {
+				t.Errorf("workers=%d: trace does not round-trip balanced: %v", workers, err)
+			}
+		}
+		return outcome{result: res, resultJSON: string(b), counters: counters}
+	}
+
+	for _, workers := range []int{1, 8} {
+		off := run(workers, false)
+		on := run(workers, true)
+		if off.resultJSON != on.resultJSON {
+			t.Errorf("UpdateWorkers=%d: Result differs with progress+tracing attached", workers)
+		}
+		// Stronger than the JSON check: the archived Config must not retain
+		// the Progress/Trace handles (scrubObservers), so the whole struct
+		// compares equal too.
+		if !reflect.DeepEqual(off.result, on.result) {
+			t.Errorf("UpdateWorkers=%d: Result structs differ with progress+tracing attached (observer handles leaked into Result.Config?)", workers)
+		}
+		for name, v := range off.counters {
+			if on.counters[name] != v {
+				t.Errorf("UpdateWorkers=%d: counter %s: off=%d on=%d", workers, name, v, on.counters[name])
+			}
+		}
+		for name, v := range on.counters {
+			if _, ok := off.counters[name]; !ok {
+				t.Errorf("UpdateWorkers=%d: counter %s: off=absent on=%d", workers, name, v)
+			}
+		}
+	}
+}
+
+// Identical runs must record identical traces: the recorder works on the
+// simulation's virtual clock and the event loop's deterministic order, so
+// the exported JSON is byte-for-byte reproducible, at any worker count.
+func TestObsTraceDeterministic(t *testing.T) {
+	traceJSON := func(workers int) []byte {
+		cfg := testConfig()
+		cfg.UpdateWorkers = workers
+		cfg.Trace = obs.NewTrace()
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Trace.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := traceJSON(1)
+	for _, workers := range []int{1, 8} {
+		if got := traceJSON(workers); !bytes.Equal(base, got) {
+			t.Errorf("UpdateWorkers=%d: trace differs from serial baseline", workers)
+		}
+	}
+}

@@ -60,9 +60,20 @@ type Result struct {
 	Equipped           []bool
 }
 
+// scrubObservers strips the process-level observability handles before a
+// Config is archived inside a Result. The Result is a record of the
+// experiment, and Progress/Trace describe how the hosting process watched
+// this particular run — retaining them would keep the recorder alive past
+// the run and make otherwise-identical Results compare unequal.
+func scrubObservers(cfg Config) Config {
+	cfg.Progress = nil
+	cfg.Trace = nil
+	return cfg
+}
+
 func newResult(cfg Config, tracked []int) *Result {
 	return &Result{
-		Config:     cfg,
+		Config:     scrubObservers(cfg),
 		TrackedIDs: tracked,
 		PerRobot:   make([][]float64, len(tracked)),
 	}
@@ -89,7 +100,7 @@ func (r *Result) reset(cfg Config, tracked []int) {
 	}
 	per = per[:len(tracked)]
 	*r = Result{
-		Config:             cfg,
+		Config:             scrubObservers(cfg),
 		TrackedIDs:         tracked,
 		Times:              r.Times[:0],
 		AvgError:           r.AvgError[:0],

@@ -19,6 +19,7 @@ import (
 	"cocoa/internal/mobility"
 	"cocoa/internal/mrmm"
 	"cocoa/internal/network"
+	"cocoa/internal/obs"
 	"cocoa/internal/odometry"
 	"cocoa/internal/sim"
 	"cocoa/internal/telemetry"
@@ -101,6 +102,13 @@ type Team struct {
 	reportsSent      int
 	reportsDelivered int
 	reportHops       int
+
+	// Observability taps (Config.Progress / Config.Trace). Both are
+	// write-only for the run — nothing below reads them back — so they
+	// cannot steer results; nil disables each at one pointer check per
+	// record site.
+	progress *obs.Progress
+	tracer   *obs.Trace
 }
 
 // NewTeam assembles a deployment from the configuration. The calibration
@@ -152,6 +160,8 @@ func NewTeamScratch(cfg Config, sc *Scratch) (*Team, error) {
 		clockRng: root.Stream("clock"),
 		scratch:  sc,
 		root:     root,
+		progress: cfg.Progress,
+		tracer:   cfg.Trace,
 	}
 	t.updateWorkers = cfg.UpdateWorkers
 	if t.updateWorkers == 0 {
@@ -423,6 +433,19 @@ func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 	done := ctx.Done()
 	dt := float64(cfg.SampleIntervalS)
 	t.armCheckpoints()
+	// Live progress: the loop owns its own tick counter (t.ticks only
+	// advances when checkpoint machinery is armed) and publishes position
+	// with one atomic store per tick — write-only, so it cannot perturb
+	// the run.
+	totalTicks := maxSampleTicks(cfg)
+	progressTick := 0
+	t.progress.SetTicks(0, totalTicks)
+	if t.tracer != nil {
+		t.tracer.SetThreadName(0, "event-loop")
+		t.tracer.Begin(0, "run", 0, map[string]any{
+			"seed": cfg.Seed, "robots": cfg.NumRobots, "duration_s": int(cfg.DurationS),
+		})
+	}
 	t.sim.EachTick(cfg.SampleIntervalS, cfg.SampleIntervalS, func(now sim.Time) {
 		if done != nil && ctx.Err() != nil {
 			t.sim.Stop()
@@ -433,6 +456,8 @@ func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 		// (no-op under the scan path; consumes no randomness either way).
 		t.med.UpdatePositions()
 		t.sample(res, now)
+		progressTick++
+		t.progress.SetTicks(progressTick, totalTicks)
 		// Checkpoint machinery: verify a pending resume snapshot at its
 		// tick, then capture on the configured cadence. Both read state
 		// without mutating it (digests are side-effect free), so runs
@@ -457,6 +482,9 @@ func (t *Team) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	t.finish(res)
+	// Close the run span (and any sampling-window whose scheduled end fell
+	// past DurationS) so every exported trace is balanced.
+	t.tracer.CloseOpen(float64(t.sim.Now()))
 	return res, nil
 }
 
@@ -528,6 +556,7 @@ func (t *Team) scheduleWindow(w sim.Time) {
 // and schedules the window's beacons.
 func (t *Team) startWindow(w sim.Time) {
 	cfg := t.cfg
+	t.tracer.Begin(0, "sampling-window", float64(w), nil)
 	t.emitSimple(EventWindowStart, -1)
 	// Punctual and early robots are awake by now (their wake timers fired
 	// at w+clockErr <= w); late robots wake when their skewed timer fires.
@@ -627,6 +656,13 @@ func (t *Team) sendBeacon(r *robot) {
 	}
 	if r.nic.Send(network.KindBeacon, network.BeaconBytes, payload) == nil {
 		telBeaconsSent.Inc()
+		// Guard the args map: building it unconditionally would allocate
+		// even when tracing is off.
+		if t.tracer != nil {
+			t.tracer.Instant(0, "mac-frame", float64(now), map[string]any{
+				"robot": r.id, "secondary": payload.Secondary,
+			})
+		}
 		t.emit(EventBeaconSent, r.id, payload.Pos, 0, 0)
 	}
 }
@@ -647,6 +683,18 @@ func (t *Team) flushBeaconQueues() {
 	}
 	telFlushes.Inc()
 	telFlushBusy.ObserveInt(len(busy))
+	// Trace the belief updates serially, before the worker fan-out: the
+	// robots' queue depths are still intact here, and emitting from the
+	// single-threaded event loop keeps the event order deterministic at
+	// any worker count.
+	if t.tracer != nil {
+		nowS := float64(t.sim.Now())
+		for _, r := range busy {
+			t.tracer.Complete(1+r.id, "belief-update", nowS, 0, map[string]any{
+				"beacons": len(r.pending),
+			})
+		}
+	}
 	workers := t.updateWorkers
 	if workers > len(busy) {
 		workers = len(busy)
@@ -684,6 +732,7 @@ func (t *Team) endWindow(w sim.Time) {
 	t.emitSimple(EventWindowEnd, -1)
 	// Apply the window's queued beacons before any localizer readout below.
 	t.flushBeaconQueues()
+	t.tracer.End(0, float64(now))
 	for _, r := range t.robots {
 		if r.failed {
 			continue

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogOptions is the shared -log-format/-log-level flag pair every CLI in
+// the repo registers, so `-log-format json` means the same thing to
+// cocoad, cocoasim, and cocoaexp.
+type LogOptions struct {
+	Format string // "text" or "json"
+	Level  string // "debug", "info", "warn", or "error"
+}
+
+// AddLogFlags registers -log-format and -log-level on fs and returns the
+// options they populate.
+func AddLogFlags(fs *flag.FlagSet) *LogOptions {
+	o := &LogOptions{Format: "text", Level: "info"}
+	fs.StringVar(&o.Format, "log-format", o.Format, "log output format: text or json")
+	fs.StringVar(&o.Level, "log-level", o.Level, "minimum log level: debug, info, warn, or error")
+	return o
+}
+
+// NewLogger builds the slog.Logger the options describe, writing to w.
+func (o *LogOptions) NewLogger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(o.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", o.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(o.Format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", o.Format)
+}
+
+// nopHandler drops every record. (slog.DiscardHandler is a go1.24
+// addition; this module's language version predates it.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that discards everything — the default for
+// library code when the caller wires no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestAddLogFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := AddLogFlags(fs)
+	if err := fs.Parse([]string{"-log-format", "json", "-log-level", "debug"}); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if o.Format != "json" || o.Level != "debug" {
+		t.Fatalf("options = %+v", o)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := (&LogOptions{Format: "text", Level: "info"}).NewLogger(&buf)
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	log.Debug("hidden")
+	log.Info("visible", "job", "j1")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug leaked at info level: %q", out)
+	}
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "job=j1") {
+		t.Fatalf("text output = %q", out)
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := (&LogOptions{Format: "json", Level: "warn"}).NewLogger(&buf)
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	log.Info("hidden")
+	log.Warn("careful", "run", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("output is not one JSON record: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "careful" || rec["run"] != 3.0 || rec["level"] != "WARN" {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := (&LogOptions{}).NewLogger(&buf)
+	if err != nil {
+		t.Fatalf("empty options rejected: %v", err)
+	}
+	log.Info("hello")
+	if !strings.Contains(buf.String(), "hello") {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestNewLoggerErrors(t *testing.T) {
+	if _, err := (&LogOptions{Format: "xml"}).NewLogger(&bytes.Buffer{}); err == nil {
+		t.Fatal("accepted format xml")
+	}
+	if _, err := (&LogOptions{Level: "loud"}).NewLogger(&bytes.Buffer{}); err == nil {
+		t.Fatal("accepted level loud")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	log.Error("dropped", "k", "v")
+	log.With("a", 1).WithGroup("g").Info("also dropped")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+}

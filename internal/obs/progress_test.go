@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.SetTicks(3, 10)
+	p.SetRun(1, 2)
+	p.Start(time.Now())
+	if tick, total := p.Ticks(); tick != 0 || total != 0 {
+		t.Fatalf("nil Ticks() = (%d, %d), want (0, 0)", tick, total)
+	}
+	if done, total := p.Run(); done != 0 || total != 0 {
+		t.Fatalf("nil Run() = (%d, %d), want (0, 0)", done, total)
+	}
+	if f := p.Fraction(); f != 0 {
+		t.Fatalf("nil Fraction() = %v, want 0", f)
+	}
+	if _, ok := p.ETA(time.Now()); ok {
+		t.Fatal("nil ETA() reported ok")
+	}
+}
+
+func TestProgressTicksRoundTrip(t *testing.T) {
+	p := &Progress{}
+	p.SetTicks(37, 120)
+	if tick, total := p.Ticks(); tick != 37 || total != 120 {
+		t.Fatalf("Ticks() = (%d, %d), want (37, 120)", tick, total)
+	}
+	p.SetRun(2, 5)
+	if done, total := p.Run(); done != 2 || total != 5 {
+		t.Fatalf("Run() = (%d, %d), want (2, 5)", done, total)
+	}
+}
+
+func TestProgressPackClamps(t *testing.T) {
+	p := &Progress{}
+	p.SetTicks(-3, 1<<40)
+	tick, total := p.Ticks()
+	if tick != 0 {
+		t.Fatalf("negative tick clamped to %d, want 0", tick)
+	}
+	if total != 1<<32-1 {
+		t.Fatalf("oversized total clamped to %d, want %d", total, 1<<32-1)
+	}
+}
+
+func TestProgressFraction(t *testing.T) {
+	p := &Progress{}
+	if f := p.Fraction(); f != 0 {
+		t.Fatalf("empty Fraction() = %v, want 0", f)
+	}
+	p.SetTicks(25, 100)
+	if f := p.Fraction(); f != 0.25 {
+		t.Fatalf("tick-only Fraction() = %v, want 0.25", f)
+	}
+	// Run totals take over: 1 full run + a half-done run out of 4.
+	p.SetTicks(50, 100)
+	p.SetRun(1, 4)
+	if f := p.Fraction(); f != 0.375 {
+		t.Fatalf("run Fraction() = %v, want 0.375", f)
+	}
+	// Overshoot clamps to 1.
+	p.SetTicks(200, 100)
+	p.SetRun(4, 4)
+	if f := p.Fraction(); f != 1 {
+		t.Fatalf("overshoot Fraction() = %v, want 1", f)
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	p := &Progress{}
+	now := time.Unix(1000, 0)
+	if _, ok := p.ETA(now); ok {
+		t.Fatal("ETA before Start reported ok")
+	}
+	p.Start(now)
+	if _, ok := p.ETA(now.Add(time.Second)); ok {
+		t.Fatal("ETA with zero progress reported ok")
+	}
+	p.SetTicks(50, 100)
+	eta, ok := p.ETA(now.Add(10 * time.Second))
+	if !ok {
+		t.Fatal("ETA not ok with progress and elapsed time")
+	}
+	if eta != 10*time.Second {
+		t.Fatalf("ETA = %v, want 10s (half done after 10s)", eta)
+	}
+	// First Start wins: re-anchoring later must not shrink elapsed.
+	p.Start(now.Add(5 * time.Second))
+	eta2, ok := p.ETA(now.Add(10 * time.Second))
+	if !ok || eta2 != eta {
+		t.Fatalf("ETA after second Start = (%v, %v), want (%v, true)", eta2, ok, eta)
+	}
+	// Zero or negative elapsed yields no estimate.
+	if _, ok := p.ETA(now); ok {
+		t.Fatal("ETA with zero elapsed reported ok")
+	}
+	// Done: remaining clamps at zero.
+	p.SetTicks(100, 100)
+	eta3, ok := p.ETA(now.Add(time.Minute))
+	if !ok || eta3 != 0 {
+		t.Fatalf("ETA at completion = (%v, %v), want (0, true)", eta3, ok)
+	}
+}
+
+func TestProgressConcurrentReaders(t *testing.T) {
+	p := &Progress{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.SetTicks(i%1000, 1000)
+			p.SetRun(i%10, 10)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				tick, total := p.Ticks()
+				if total != 0 && total != 1000 {
+					t.Errorf("torn read: total = %d", total)
+					return
+				}
+				if tick > 1000 {
+					t.Errorf("torn read: tick = %d", tick)
+					return
+				}
+				p.Fraction()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

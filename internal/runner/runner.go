@@ -24,6 +24,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"cocoa/internal/cocoa"
+	"cocoa/internal/obs"
 	"cocoa/internal/telemetry"
 )
 
@@ -83,11 +85,25 @@ type Options struct {
 	// CheckpointEvery is the snapshot cadence in sampling ticks for
 	// CheckpointDir; <= 0 means cocoa.DefaultCheckpointEveryTicks.
 	CheckpointEvery int
+	// Gauge, when non-nil, receives the fan-out's live position: SetRun
+	// after each completed job, and (for Runs/RunsEach) the executing
+	// run's tick position via cocoa's Config.Progress. Concurrent runs
+	// share the gauge — the tick readout tracks whichever run published
+	// last, which is the intended "what is the pool doing right now"
+	// signal. Publication is write-only and lock-free, so it cannot
+	// perturb results or scheduling.
+	Gauge *obs.Progress
+	// Logger, when non-nil, receives a debug record per failed job. The
+	// engine never logs on the success path — sweeps run thousands of
+	// jobs and the Progress/Gauge channels already carry liveness.
+	Logger *slog.Logger
 }
 
-// withCheckpoint returns cfg with the fan-out's checkpoint spec applied
-// for job i (a no-op without a CheckpointDir).
+// withCheckpoint returns cfg with the fan-out's operational taps applied
+// for job i: the checkpoint spec (a no-op without a CheckpointDir) and the
+// shared progress gauge.
 func (o Options) withCheckpoint(cfg cocoa.Config, i int) cocoa.Config {
+	cfg.Progress = o.Gauge
 	if o.CheckpointDir == "" {
 		return cfg
 	}
@@ -96,6 +112,13 @@ func (o Options) withCheckpoint(cfg cocoa.Config, i int) cocoa.Config {
 		Dir:        filepath.Join(o.CheckpointDir, fmt.Sprintf("run-%04d", i)),
 	}
 	return cfg
+}
+
+// logJobError emits the per-failure debug record when a Logger is wired.
+func (o Options) logJobError(i int, err error) {
+	if o.Logger != nil {
+		o.Logger.Debug("job failed", "run", i, "error", err.Error())
+	}
 }
 
 // MaxParallelism returns the worker count that saturates the hardware,
@@ -117,6 +140,7 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 		return out, nil
 	}
 	submitted := time.Now()
+	opts.Gauge.SetRun(0, n)
 	workers := opts.Parallelism
 	if workers > n {
 		workers = n
@@ -128,9 +152,11 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 			}
 			v, err := runJob(ctx, submitted, i, fn)
 			if err != nil {
+				opts.logJobError(i, err)
 				return nil, fmt.Errorf("runner: job %d: %w", i, err)
 			}
 			out[i] = v
+			opts.Gauge.SetRun(i+1, n)
 			if opts.Progress != nil {
 				opts.Progress(i+1, n)
 			}
@@ -165,11 +191,13 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 						errIdx = i
 					}
 					mu.Unlock()
+					opts.logJobError(i, err)
 					cancel()
 					continue
 				}
 				out[i] = v
 				done++
+				opts.Gauge.SetRun(done, n)
 				if opts.Progress != nil {
 					opts.Progress(done, n)
 				}

@@ -15,12 +15,14 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"log/slog"
 
 	"cocoa/internal/caltable"
 	"cocoa/internal/cocoa"
 	"cocoa/internal/geom"
 	"cocoa/internal/metrics"
 	"cocoa/internal/mobility"
+	"cocoa/internal/obs"
 	"cocoa/internal/odometry"
 	"cocoa/internal/radio"
 	"cocoa/internal/runner"
@@ -66,6 +68,14 @@ type Options struct {
 	// Progress, when non-nil, is invoked after each completed run of the
 	// current experiment with (done, total). Invocations are serialized.
 	Progress func(done, total int)
+	// Gauge, when non-nil, receives the experiment's live position with no
+	// callback: completed runs via SetRun and the executing run's sampling
+	// tick via the simulation loop (see obs.Progress). Write-only and
+	// lock-free — it cannot perturb results.
+	Gauge *obs.Progress
+	// Logger, when non-nil, receives the engine's per-failure debug
+	// records (runner.Options.Logger).
+	Logger *slog.Logger
 
 	// CheckpointDir, when non-empty, makes every simulation run of the
 	// experiment persist resumable snapshots beneath it, one run-<index>/
@@ -84,6 +94,8 @@ func (o Options) runAll(ctx context.Context, cfgs []cocoa.Config) ([]*cocoa.Resu
 	return runner.Runs(ctx, runner.Options{
 		Parallelism:     o.Parallelism,
 		Progress:        o.Progress,
+		Gauge:           o.Gauge,
+		Logger:          o.Logger,
 		CheckpointDir:   o.CheckpointDir,
 		CheckpointEvery: o.CheckpointEvery,
 	}, cfgs)
@@ -98,6 +110,8 @@ func (o Options) runEach(ctx context.Context, cfgs []cocoa.Config, fn func(i int
 	return runner.RunsEach(ctx, runner.Options{
 		Parallelism:     o.Parallelism,
 		Progress:        o.Progress,
+		Gauge:           o.Gauge,
+		Logger:          o.Logger,
 		CheckpointDir:   o.CheckpointDir,
 		CheckpointEvery: o.CheckpointEvery,
 	}, cfgs, fn)

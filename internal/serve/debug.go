@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"cocoa/internal/obs"
 	"cocoa/internal/telemetry"
 )
 
@@ -27,12 +28,15 @@ func publishTelemetryVar() {
 }
 
 // DebugMux returns the private diagnostics mux: expvar under /debug/vars
-// (including the telemetry snapshot) and the pprof suite under
-// /debug/pprof/. It is deliberately separate from the public API handler
-// so operators can bind it to a loopback-only address.
+// (including the telemetry snapshot), Prometheus exposition under
+// /metrics (registry + runtime metrics; service-level job gauges live on
+// the public handler's /metrics, which knows the Server), and the pprof
+// suite under /debug/pprof/. It is deliberately separate from the public
+// API handler so operators can bind it to a loopback-only address.
 func DebugMux() *http.ServeMux {
 	publishTelemetryVar()
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(telemetry.Default, nil))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

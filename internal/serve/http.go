@@ -15,29 +15,67 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
 	"cocoa"
+	"cocoa/internal/obs"
 	"cocoa/internal/runner"
 	"cocoa/internal/telemetry"
 )
 
-// Handler returns the service's public API mux.
+// Handler returns the service's public API mux, wrapped in the request-ID
+// and access-log middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/telemetry", s.handleTelemetry)
+	mux.Handle("GET /metrics", obs.Handler(telemetry.Default, s.metricSamples))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return s.withRequestLog(mux)
+}
+
+// statusWriter captures the response code for the access log, forwarding
+// Flush so the NDJSON events stream keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRequestLog assigns every request a process-unique ID (echoed as
+// X-Request-ID) and emits one structured access record per request.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Debug("request",
+			"request_id", reqID, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration_ms", time.Since(start).Milliseconds())
+	})
 }
 
 // errorBody is the uniform error payload.
@@ -130,6 +168,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(b)
 }
 
+// handleTrace serves a done job's recorded span timeline as Chrome
+// trace-event JSON (load it in Perfetto or chrome://tracing). 409 while
+// the job is live, 404 when the submission did not request tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	b, ready := j.Trace()
+	if !ready {
+		st := j.Status()
+		if !st.State.Terminal() {
+			writeJSON(w, http.StatusConflict, errorBody{Error: "job " + st.ID + " is " + string(st.State) + ", trace not ready"})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "job " + st.ID + " has no trace (submit with \"trace\": true)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -139,8 +200,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
+// eventsTickInterval paces live-progress re-reads on the events stream:
+// state and run transitions still stream immediately via the watch
+// channel, but per-tick progress (which can change thousands of times a
+// second and deliberately does not fire the channel) is sampled on this
+// coarse ticker, keeping the stream's line rate bounded.
+const eventsTickInterval = 250 * time.Millisecond
+
 // handleEvents streams NDJSON status snapshots until the job terminates
-// or the client disconnects. Each change produces exactly one line.
+// or the client disconnects. Each distinct snapshot produces exactly one
+// line: lines are emitted on state/run changes and whenever a ticker
+// re-read observes different live progress, never for identical statuses.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -151,19 +221,27 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(eventsTickInterval)
+	defer ticker.Stop()
+	var last JobStatus
+	emitted := false
 	for {
 		st, changed := j.Watch()
-		if err := enc.Encode(st); err != nil {
-			return
-		}
-		if flusher != nil {
-			flusher.Flush()
+		if !emitted || st != last {
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			last, emitted = st, true
 		}
 		if st.State.Terminal() {
 			return
 		}
 		select {
 		case <-changed:
+		case <-ticker.C:
 		case <-r.Context().Done():
 			return
 		}

@@ -19,19 +19,24 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cocoa"
+	"cocoa/internal/obs"
 	"cocoa/internal/runner"
 	"cocoa/internal/telemetry"
 )
@@ -85,6 +90,10 @@ type Config struct {
 	// CheckpointEveryTicks is the snapshot cadence (sampling ticks) for
 	// durable raw-config jobs; <= 0 means cocoa.DefaultCheckpointEveryTicks.
 	CheckpointEveryTicks int
+	// Logger receives the service's structured log records (job lifecycle,
+	// request access lines). nil discards them — the service never falls
+	// back to the process-global logger.
+	Logger *slog.Logger
 }
 
 // State is a job's lifecycle position. Transitions are strictly
@@ -131,6 +140,10 @@ type JobRequest struct {
 	// TimeoutS bounds the job's total lifetime (queue wait included);
 	// 0 uses the service default.
 	TimeoutS float64 `json:"timeout_s,omitempty"`
+	// Trace records the run's span timeline for GET /v1/jobs/{id}/trace
+	// (Chrome trace-event JSON). Raw-config jobs only — experiment sweeps
+	// reject it. Tracing never changes result bytes (DESIGN.md §15).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // JobStatus is the wire representation of a job's current state.
@@ -143,9 +156,22 @@ type JobStatus struct {
 	// a raw-config job is a single run.
 	RunsDone  int `json:"runs_done"`
 	RunsTotal int `json:"runs_total"`
+	// Tick/TicksTotal expose the executing run's live position inside its
+	// simulation loop (the obs.Progress gauge); zero until a run starts
+	// publishing.
+	Tick       int `json:"tick,omitempty"`
+	TicksTotal int `json:"ticks_total,omitempty"`
+	// EtaS projects the job's remaining wall-clock seconds from elapsed
+	// time and published progress, rounded to whole seconds (so the events
+	// stream is not churned by sub-second drift). Omitted until the job
+	// has progress to extrapolate from.
+	EtaS float64 `json:"eta_s,omitempty"`
 	// Resumed marks a job recovered from a previous process's state
 	// directory (its execution state is "resumed" while it replays).
 	Resumed bool `json:"resumed,omitempty"`
+	// TraceAvailable reports that the job recorded a span trace, served at
+	// GET /v1/jobs/{id}/trace once the job is done.
+	TraceAvailable bool `json:"trace_available,omitempty"`
 }
 
 // Job is one tracked submission.
@@ -167,6 +193,16 @@ type Job struct {
 	total      int
 	userCancel bool
 	changed    chan struct{}
+	traceJSON  []byte
+
+	// progress is the job's live gauge: the simulation loop (raw-config
+	// jobs) or the sweep engine (experiment jobs) publishes through it
+	// lock-free; Status reads it on demand. trace is the span recorder for
+	// JobRequest.Trace jobs, serialized into traceJSON on success. log
+	// carries the job's ID and kind as pre-bound attrs.
+	progress *obs.Progress
+	trace    *obs.Trace
+	log      *slog.Logger
 
 	handle *runner.Handle[[]byte]
 }
@@ -174,26 +210,68 @@ type Job struct {
 // ID returns the job's unique identifier.
 func (j *Job) ID() string { return j.id }
 
+// logger returns the job's bound logger, discarding when none was wired
+// (jobs constructed outside a Server, as some tests do).
+func (j *Job) logger() *slog.Logger {
+	if j.log == nil {
+		return obs.NopLogger()
+	}
+	return j.log
+}
+
+// statusLocked assembles the wire snapshot; callers hold j.mu. The live
+// tick position and ETA come from the lock-free progress gauge — reading
+// them takes atomic loads only, never blocks the simulation. The ETA is
+// rounded to whole seconds so equal-looking statuses compare equal and
+// the events stream is not churned by sub-second drift.
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg,
+		RunsDone: j.done, RunsTotal: j.total, Resumed: j.resumed,
+		TraceAvailable: j.traceJSON != nil,
+	}
+	st.Tick, st.TicksTotal = j.progress.Ticks()
+	if !j.state.Terminal() {
+		if eta, ok := j.progress.ETA(time.Now()); ok {
+			st.EtaS = math.Round(eta.Seconds())
+		}
+	}
+	return st
+}
+
 // Status returns a point-in-time snapshot.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
-		ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg,
-		RunsDone: j.done, RunsTotal: j.total, Resumed: j.resumed,
-	}
+	return j.statusLocked()
 }
 
 // Watch returns the current snapshot plus a channel closed on the next
-// change — the poll-free primitive behind the events stream.
+// change — the poll-free primitive behind the events stream. Per-tick
+// progress does not fire the channel (that would wake watchers thousands
+// of times per run); the events handler re-reads on a coarse ticker
+// instead.
 func (j *Job) Watch() (JobStatus, <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{
-		ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg,
-		RunsDone: j.done, RunsTotal: j.total, Resumed: j.resumed,
-	}
-	return st, j.changed
+	return j.statusLocked(), j.changed
+}
+
+// Trace returns the job's recorded span trace (Chrome trace-event JSON)
+// once the job is done; ok is false while the job is live or when the
+// submission did not request tracing.
+func (j *Job) Trace() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceJSON, j.traceJSON != nil
+}
+
+// setTrace stores the serialized trace; called by the execution closure
+// just before the job settles.
+func (j *Job) setTrace(b []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.traceJSON = b
 }
 
 // Cancel asks the job to stop; safe on terminal jobs. A user cancel also
@@ -230,6 +308,7 @@ func (j *Job) broadcast() {
 }
 
 func (j *Job) setRunning() {
+	j.progress.Start(time.Now())
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state == StateQueued {
@@ -238,6 +317,7 @@ func (j *Job) setRunning() {
 			j.state = StateResumed
 		}
 		j.broadcast()
+		j.logger().Info("job started", "state", string(j.state))
 	}
 }
 
@@ -259,14 +339,17 @@ func (j *Job) finalize(b []byte, err error) {
 		j.result = b
 		j.done = j.total
 		telCompleted.Inc()
+		j.logger().Info("job done", "runs", j.total, "result_bytes", len(b))
 	case errors.Is(err, context.Canceled):
 		j.state = StateCanceled
 		j.errMsg = "canceled"
 		telCanceled.Inc()
+		j.logger().Info("job canceled")
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		telFailed.Inc()
+		j.logger().Warn("job failed", "error", j.errMsg)
 	}
 	j.broadcast()
 }
@@ -295,6 +378,11 @@ type Server struct {
 	// runFn, when non-nil, replaces job execution — a test seam for
 	// controllable blocking/failing jobs. Never set in production.
 	runFn func(ctx context.Context, j *Job) ([]byte, error)
+
+	// log is the service logger (Config.Logger or a no-op); reqSeq numbers
+	// HTTP requests for the access-log middleware.
+	log    *slog.Logger
+	reqSeq atomic.Int64
 }
 
 // New starts a service with cfg's worker pool. Call Shutdown to drain.
@@ -305,6 +393,10 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	root, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:        cfg,
@@ -312,11 +404,12 @@ func New(cfg Config) *Server {
 		root:       root,
 		rootCancel: cancel,
 		jobs:       make(map[string]*Job),
+		log:        log,
 	}
 }
 
 // experimentOptions converts wire options to scenario options with the
-// job's progress callback attached.
+// job's progress callback, live gauge, and logger attached.
 func experimentOptions(o *JobOptions, j *Job) cocoa.ExperimentOptions {
 	var opts cocoa.ExperimentOptions
 	if o != nil {
@@ -327,7 +420,11 @@ func experimentOptions(o *JobOptions, j *Job) cocoa.ExperimentOptions {
 		opts.GridCellM = o.GridCellM
 		opts.Parallelism = o.Parallelism
 	}
-	opts.Progress = j.setProgress
+	opts.Progress = func(done, total int) {
+		j.setProgress(done, total)
+		j.logger().Debug("run complete", "run", done, "runs_total", total)
+	}
+	opts.Gauge = j.progress
 	return opts
 }
 
@@ -369,10 +466,16 @@ func (s *Server) buildExec(req JobRequest, j *Job) (func(ctx context.Context) ([
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
+		if req.Trace {
+			j.trace = obs.NewTrace()
+		}
 		return func(ctx context.Context) ([]byte, error) {
 			return s.runConfig(ctx, cfg, j)
 		}, nil
 	default:
+		if req.Trace {
+			return nil, fmt.Errorf("%w: trace is only supported for raw-config jobs", ErrBadRequest)
+		}
 		d, ok := findExperiment(req.Experiment)
 		if !ok {
 			return nil, fmt.Errorf("%w: unknown experiment %q", ErrBadRequest, req.Experiment)
@@ -398,7 +501,8 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		telRejectedInvalid.Inc()
 		return nil, fmt.Errorf("%w: exactly one of config or experiment must be set", ErrBadRequest)
 	}
-	j := &Job{kind: "config", state: StateQueued, total: 1, changed: make(chan struct{})}
+	j := &Job{kind: "config", state: StateQueued, total: 1,
+		changed: make(chan struct{}), progress: &obs.Progress{}}
 	exec, err := s.buildExec(req, j)
 	if err != nil {
 		telRejectedInvalid.Inc()
@@ -449,6 +553,8 @@ func (s *Server) enqueue(req JobRequest, j *Job, exec func(ctx context.Context) 
 		j.id = fixedID
 		j.stateDir = filepath.Join(s.cfg.StateDir, j.id)
 	}
+	// Bind the job logger before the closure can run on a pool worker.
+	j.log = s.log.With("job", j.id, "kind", j.kind)
 	h, err := s.pool.TrySubmit(jctx, func(ctx context.Context) ([]byte, error) {
 		j.setRunning()
 		return exec(ctx)
@@ -476,6 +582,7 @@ func (s *Server) enqueue(req JobRequest, j *Job, exec func(ctx context.Context) 
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 	telAccepted.Inc()
+	j.logger().Info("job accepted", "resumed", j.resumed, "trace", j.trace != nil)
 
 	// The settler owns the job's terminal transition; it exits as soon as
 	// the handle completes (drain waits for exactly these).
@@ -514,6 +621,83 @@ func (s *Server) Jobs() []JobStatus {
 		out[i] = j.Status()
 	}
 	return out
+}
+
+// metricSamples is the /metrics collector for service-level state the
+// telemetry registry does not carry: per-state job gauges (every state
+// always present, so dashboards see explicit zeros), pool occupancy, the
+// drain flag, and per-live-job progress/ETA gauges. Invoked per scrape.
+func (s *Server) metricSamples() []obs.Sample {
+	states := []State{StateQueued, StateRunning, StateResumed, StateDone, StateFailed, StateCanceled}
+	counts := make(map[State]int, len(states))
+	var live []JobStatus
+	s.mu.Lock()
+	draining := s.draining
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		st := j.Status()
+		counts[st.State]++
+		if !st.State.Terminal() {
+			live = append(live, st)
+		}
+	}
+
+	samples := make([]obs.Sample, 0, len(states)+8+3*len(live))
+	for _, st := range states {
+		samples = append(samples, obs.Sample{
+			Name: "cocoad_jobs", Type: "gauge",
+			Help:   "Tracked jobs by lifecycle state.",
+			Labels: []obs.Label{{Key: "state", Value: string(st)}},
+			Value:  float64(counts[st]),
+		})
+	}
+	ps := s.pool.Stats()
+	samples = append(samples,
+		obs.Sample{Name: "cocoad_pool_workers", Type: "gauge",
+			Help: "Configured worker count.", Value: float64(ps.Workers)},
+		obs.Sample{Name: "cocoad_pool_queue_capacity", Type: "gauge",
+			Help: "Bounded queue capacity.", Value: float64(ps.Capacity)},
+		obs.Sample{Name: "cocoad_pool_queued", Type: "gauge",
+			Help: "Jobs waiting for a worker.", Value: float64(ps.Queued)},
+		obs.Sample{Name: "cocoad_pool_inflight", Type: "gauge",
+			Help: "Jobs executing right now.", Value: float64(ps.InFlight)},
+		obs.Sample{Name: "cocoad_draining", Type: "gauge",
+			Help: "1 while Shutdown drains the service.", Value: boolGauge(draining)},
+	)
+	now := time.Now()
+	for _, st := range live {
+		labels := []obs.Label{{Key: "job", Value: st.ID}}
+		samples = append(samples, obs.Sample{
+			Name: "cocoad_job_runs_done", Type: "gauge",
+			Help: "Completed runs of a live job's sweep.", Labels: labels,
+			Value: float64(st.RunsDone),
+		}, obs.Sample{
+			Name: "cocoad_job_tick", Type: "gauge",
+			Help: "Current sampling tick of a live job's executing run.", Labels: labels,
+			Value: float64(st.Tick),
+		})
+		if j, ok := s.Job(st.ID); ok {
+			if eta, ok := j.progress.ETA(now); ok {
+				samples = append(samples, obs.Sample{
+					Name: "cocoad_job_eta_seconds", Type: "gauge",
+					Help: "Projected remaining wall-clock seconds of a live job.", Labels: labels,
+					Value: eta.Seconds(),
+				})
+			}
+		}
+	}
+	return samples
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Draining reports whether Shutdown has begun.
@@ -559,6 +743,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // other resume-path problem (missing/corrupt snapshot file) falls back to
 // a fresh run, which is always correct, just slower.
 func (s *Server) runConfig(ctx context.Context, cfg cocoa.Config, j *Job) ([]byte, error) {
+	// Observability taps: the run publishes its tick position through the
+	// job's gauge, and records spans when the submission asked for a
+	// trace. Both are write-only for the simulation — attaching them never
+	// changes result bytes (DESIGN.md §15).
+	cfg.Progress = j.progress
+	cfg.Trace = j.trace
+	if j.trace != nil {
+		j.trace.SetProcessName(j.id)
+	}
+	finish := func(res *cocoa.Result) ([]byte, error) {
+		if j.trace != nil {
+			var buf bytes.Buffer
+			if err := j.trace.WriteJSON(&buf); err != nil {
+				return nil, fmt.Errorf("serve: serialize trace: %w", err)
+			}
+			j.setTrace(buf.Bytes())
+		}
+		return json.Marshal(res)
+	}
 	if j.stateDir != "" {
 		cfg.Checkpoint = cocoa.CheckpointSpec{
 			EveryTicks: s.cfg.CheckpointEveryTicks,
@@ -568,13 +771,16 @@ func (s *Server) runConfig(ctx context.Context, cfg cocoa.Config, j *Job) ([]byt
 			rcfg, cerr := cocoa.ConfigFromSnapshot(snap)
 			if cerr == nil {
 				rcfg.Checkpoint = cfg.Checkpoint
+				rcfg.Progress = cfg.Progress
+				rcfg.Trace = cfg.Trace
 				team, terr := cocoa.ResumeTeam(rcfg, snap)
 				if terr == nil {
+					j.logger().Info("resuming from snapshot", "tick", snap.TickIndex)
 					res, rerr := team.RunContext(ctx)
 					if rerr != nil {
 						return nil, rerr
 					}
-					return json.Marshal(res)
+					return finish(res)
 				}
 			}
 		}
@@ -583,7 +789,7 @@ func (s *Server) runConfig(ctx context.Context, cfg cocoa.Config, j *Job) ([]byt
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(res)
+	return finish(res)
 }
 
 // finishState applies the durable-state retention policy when a job
@@ -690,7 +896,7 @@ func (s *Server) RecoverJobs() ([]string, error) {
 			continue
 		}
 		j := &Job{kind: "config", state: StateQueued, total: 1,
-			changed: make(chan struct{}), resumed: true}
+			changed: make(chan struct{}), resumed: true, progress: &obs.Progress{}}
 		exec, err := s.buildExec(rec.Request, j)
 		if err != nil {
 			os.RemoveAll(dir)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"cocoa/internal/cocoa"
 	"cocoa/internal/metrics"
@@ -195,4 +196,58 @@ func WritePerRobotCSV(w io.Writer, res *cocoa.Result) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// PerRobotMatrix is the parsed form of a WritePerRobotCSV file: the
+// sample instants, the tracked robot IDs in column order, and Errors
+// indexed [robot][sample] to mirror Result.PerRobot.
+type PerRobotMatrix struct {
+	Times  []float64
+	IDs    []int
+	Errors [][]float64
+}
+
+// ReadPerRobotCSV parses a matrix written by WritePerRobotCSV, verifying
+// the header shape and that every row is rectangular.
+func ReadPerRobotCSV(r io.Reader) (*PerRobotMatrix, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read per-robot matrix: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty per-robot file")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "time_s" {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	m := &PerRobotMatrix{IDs: make([]int, len(header)-1)}
+	for c, col := range header[1:] {
+		idStr, ok := strings.CutPrefix(col, "robot_")
+		if !ok {
+			return nil, fmt.Errorf("trace: header column %d: %q is not robot_<id>", c+1, col)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("trace: header column %d: %w", c+1, err)
+		}
+		m.IDs[c] = id
+	}
+	m.Errors = make([][]float64, len(m.IDs))
+	for i, rec := range records[1:] {
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i+1, err)
+		}
+		m.Times = append(m.Times, t)
+		for c, cell := range rec[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d robot_%d: %w", i+1, m.IDs[c], err)
+			}
+			m.Errors[c] = append(m.Errors[c], v)
+		}
+	}
+	return m, nil
 }

@@ -143,3 +143,67 @@ func TestSummaryCarriesReporting(t *testing.T) {
 		t.Error("JSON missing reportsSent")
 	}
 }
+
+func TestPerRobotCSVRoundTrip(t *testing.T) {
+	res := smallRun(t)
+	var buf bytes.Buffer
+	if err := WritePerRobotCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadPerRobotCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.IDs) != len(res.TrackedIDs) {
+		t.Fatalf("%d robot columns, want %d", len(m.IDs), len(res.TrackedIDs))
+	}
+	for i, id := range res.TrackedIDs {
+		if m.IDs[i] != id {
+			t.Fatalf("IDs[%d] = %d, want %d", i, m.IDs[i], id)
+		}
+	}
+	if len(m.Times) != len(res.Times) {
+		t.Fatalf("%d samples, want %d", len(m.Times), len(res.Times))
+	}
+	for k := range res.Times {
+		if math.Abs(m.Times[k]-res.Times[k]) > 1e-3 {
+			t.Fatalf("time[%d] = %v, want %v", k, m.Times[k], res.Times[k])
+		}
+	}
+	for i := range m.IDs {
+		if len(m.Errors[i]) != len(res.Times) {
+			t.Fatalf("Errors[%d] has %d samples, want %d", i, len(m.Errors[i]), len(res.Times))
+		}
+		for k := range res.Times {
+			if math.Abs(m.Errors[i][k]-res.PerRobot[i][k]) > 1e-6 {
+				t.Fatalf("Errors[%d][%d] = %v, want %v", i, k, m.Errors[i][k], res.PerRobot[i][k])
+			}
+		}
+	}
+}
+
+func TestReadPerRobotCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "empty per-robot file"},
+		{"wrong first column", "wrong,robot_0\n1,2\n", "unexpected header"},
+		{"no robot columns", "time_s\n1\n", "unexpected header"},
+		{"bad column name", "time_s,bot_0\n1,2\n", "is not robot_<id>"},
+		{"non-numeric robot id", "time_s,robot_x\n1,2\n", "header column 1"},
+		{"bad time", "time_s,robot_0\nnope,2\n", "row 1 time"},
+		{"bad cell", "time_s,robot_3\n1,nope\n", "row 1 robot_3"},
+		{"ragged row", "time_s,robot_0,robot_1\n1,2\n", "read per-robot matrix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadPerRobotCSV(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted malformed CSV %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
